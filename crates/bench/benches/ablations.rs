@@ -1,0 +1,107 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **tie-break** — Algorithm 1's "choose the q_t(u) smallest neighbors";
+//!   the paper says the choice does not affect stability. We measure both
+//!   the compute cost (sorting vs not) and the steady-state backlog of
+//!   each policy.
+//! * **lying strategy** — Definition 6(ii) lets R-generalized nodes
+//!   declare anything `<= R`; strategies shift how much traffic borders
+//!   attract.
+//! * **loss rate** — "packet losses only improve the protocol stability";
+//!   the backlog should shrink monotonically with the loss rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgg_core::{Lgg, TieBreak};
+use mgraph::generators;
+use netmodel::{TrafficSpec, TrafficSpecBuilder};
+use simqueue::declare::{FullRetention, TruthfulDeclaration, ZeroBelowRetention};
+use simqueue::loss::IidLoss;
+use simqueue::{DeclarationPolicy, HistoryMode, SimulationBuilder};
+use std::hint::black_box;
+
+fn busy_spec() -> TrafficSpec {
+    // Dense hub topology where tie-breaking actually has choices to make.
+    TrafficSpecBuilder::new(generators::complete(12))
+        .source(0, 4)
+        .source(1, 3)
+        .sink(10, 4)
+        .sink(11, 4)
+        .build()
+        .unwrap()
+}
+
+fn bench_tiebreak(c: &mut Criterion) {
+    let spec = busy_spec();
+    let mut group = c.benchmark_group("ablation_tiebreak/K12_1000steps");
+    for tb in TieBreak::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(tb.name()), &spec, |b, spec| {
+            b.iter(|| {
+                let mut sim = SimulationBuilder::new(
+                    spec.clone(),
+                    Box::new(Lgg::with_tie_break(tb, 1)),
+                )
+                .history(HistoryMode::None)
+                .build();
+                sim.run(1000);
+                // Report backlog through the measurement so a policy that
+                // destabilized would be visible as divergent time too.
+                black_box(sim.metrics().sup_total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lying(c: &mut Criterion) {
+    let spec = TrafficSpecBuilder::new(generators::grid2d(4, 4))
+        .generalized(0, 2, 1)
+        .generalized(15, 1, 3)
+        .retention(8)
+        .build()
+        .unwrap();
+    type Factory = fn() -> Box<dyn DeclarationPolicy>;
+    let policies: [(&str, Factory); 3] = [
+        ("truthful", || Box::new(TruthfulDeclaration)),
+        ("zero-below-r", || Box::new(ZeroBelowRetention)),
+        ("full-retention", || Box::new(FullRetention)),
+    ];
+    let mut group = c.benchmark_group("ablation_lying/grid4x4_R8_1000steps");
+    for (name, factory) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut sim = SimulationBuilder::new(spec.clone(), Box::new(Lgg::new()))
+                    .declaration(factory())
+                    .history(HistoryMode::None)
+                    .build();
+                sim.run(1000);
+                black_box(sim.metrics().sup_total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_loss_sweep(c: &mut Criterion) {
+    let spec = busy_spec();
+    let mut group = c.benchmark_group("ablation_loss/K12_1000steps");
+    for pct in [0u32, 10, 30, 60, 90] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("p{pct}")), &spec, |b, spec| {
+            b.iter(|| {
+                let mut sim = SimulationBuilder::new(spec.clone(), Box::new(Lgg::new()))
+                    .loss(Box::new(IidLoss::new(pct as f64 / 100.0)))
+                    .history(HistoryMode::None)
+                    .build();
+                sim.run(1000);
+                black_box(sim.metrics().sup_total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tiebreak, bench_lying, bench_loss_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Bench: the figure-construction machinery — building `G*`, locating
+//! minimum cuts, and the Section V-C decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxflow::Algorithm;
+use mgraph::generators;
+use netmodel::{
+    decompose_at_cut, find_interior_min_cut, ExtendedNetwork, TrafficSpec, TrafficSpecBuilder,
+};
+use std::hint::black_box;
+
+fn dumbbell(clique: usize) -> TrafficSpec {
+    let n = 2 * clique + 2;
+    TrafficSpecBuilder::new(generators::dumbbell(clique, 2))
+        .source(0, 1)
+        .sink((n - 1) as u32, clique as u64)
+        .build()
+        .unwrap()
+}
+
+fn bench_extended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_extended_gstar");
+    for clique in [8usize, 16, 32] {
+        let spec = dumbbell(clique);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("dumbbell{clique}")),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let mut ext = ExtendedNetwork::feasibility(spec);
+                    black_box(ext.solve(Algorithm::Dinic))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_interior_cut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_interior_min_cut");
+    for clique in [4usize, 8, 16] {
+        let spec = dumbbell(clique);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("dumbbell{clique}")),
+            &spec,
+            |b, spec| {
+                b.iter(|| black_box(find_interior_min_cut(spec)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_decompose");
+    for clique in [8usize, 16, 32] {
+        let spec = dumbbell(clique);
+        let side = find_interior_min_cut(&spec).expect("interior cut");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("dumbbell{clique}")),
+            &(&spec, &side),
+            |b, (spec, side)| {
+                b.iter(|| black_box(decompose_at_cut(spec, side, 5)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_extended, bench_interior_cut, bench_decomposition
+}
+criterion_main!(benches);

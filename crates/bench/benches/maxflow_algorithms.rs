@@ -1,0 +1,98 @@
+//! Bench: the three max-flow solvers across graph families and sizes.
+//!
+//! The paper leans on Goldberg–Tarjan push–relabel as LGG's centralized
+//! ancestor; this bench shows where each algorithm wins on the unit-ish
+//! capacity networks `G*` produces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxflow::{Algorithm, FlowNetwork};
+use mgraph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn grid_net(side: usize) -> (FlowNetwork, usize, usize) {
+    let g = generators::grid2d(side, side);
+    let net = FlowNetwork::from_multigraph_unit(&g);
+    (net, 0, side * side - 1)
+}
+
+fn random_net(n: usize, extra: usize, seed: u64) -> (FlowNetwork, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::connected_random(n, extra, &mut rng);
+    let net = FlowNetwork::from_multigraph_unit(&g);
+    (net, 0, n - 1)
+}
+
+fn hypercube_net(d: u32) -> (FlowNetwork, usize, usize) {
+    let g = generators::hypercube(d);
+    let net = FlowNetwork::from_multigraph_unit(&g);
+    (net, 0, (1 << d) - 1)
+}
+
+fn bench_family(
+    c: &mut Criterion,
+    family: &str,
+    instances: Vec<(String, FlowNetwork, usize, usize)>,
+) {
+    let mut group = c.benchmark_group(format!("maxflow/{family}"));
+    for (label, net, s, t) in instances {
+        for algo in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), &label),
+                &(&net, s, t),
+                |b, (net, s, t)| {
+                    b.iter_batched(
+                        || (*net).clone(),
+                        |mut n| black_box(n.max_flow(*s, *t, algo)),
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_family(
+        c,
+        "grid",
+        [8usize, 16, 24]
+            .into_iter()
+            .map(|s| {
+                let (net, a, b) = grid_net(s);
+                (format!("{s}x{s}"), net, a, b)
+            })
+            .collect(),
+    );
+    bench_family(
+        c,
+        "random",
+        [(100usize, 200usize), (400, 800)]
+            .into_iter()
+            .map(|(n, m)| {
+                let (net, a, b) = random_net(n, m, 42);
+                (format!("n{n}m{m}"), net, a, b)
+            })
+            .collect(),
+    );
+    bench_family(
+        c,
+        "hypercube",
+        [6u32, 8]
+            .into_iter()
+            .map(|d| {
+                let (net, a, b) = hypercube_net(d);
+                (format!("d{d}"), net, a, b)
+            })
+            .collect(),
+    );
+}
+
+criterion_group! {
+    name = benches_group;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(benches_group);

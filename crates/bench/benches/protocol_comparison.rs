@@ -1,0 +1,78 @@
+//! Bench: full-run cost of each protocol on the E11 comparison workload —
+//! the compute price of localization vs clairvoyance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgg_core::baselines::{Flood, MaxFlowRouting, RandomForward, ShortestPathRouting};
+use lgg_core::interference::MatchingLgg;
+use lgg_core::Lgg;
+use mgraph::generators;
+use netmodel::{TrafficSpec, TrafficSpecBuilder};
+use simqueue::{HistoryMode, RoutingProtocol, SimulationBuilder};
+use std::hint::black_box;
+
+fn spec() -> TrafficSpec {
+    TrafficSpecBuilder::new(generators::grid2d(12, 12))
+        .source(0, 2)
+        .source(11, 1)
+        .sink(143, 4)
+        .sink(132, 2)
+        .build()
+        .unwrap()
+}
+
+fn make(name: &str, spec: &TrafficSpec) -> Box<dyn RoutingProtocol> {
+    match name {
+        "lgg" => Box::new(Lgg::new()),
+        "maxflow-routing" => Box::new(MaxFlowRouting::new(spec)),
+        "shortest-path" => Box::new(ShortestPathRouting::new(spec)),
+        "flood" => Box::new(Flood),
+        "random-forward" => Box::new(RandomForward::new(1)),
+        "matching-lgg" => Box::new(MatchingLgg::new()),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let spec = spec();
+    let mut group = c.benchmark_group("protocol_run/grid12x12_500steps");
+    for name in [
+        "lgg",
+        "maxflow-routing",
+        "shortest-path",
+        "flood",
+        "random-forward",
+        "matching-lgg",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut sim = SimulationBuilder::new(spec.clone(), make(name, spec))
+                    .history(HistoryMode::None)
+                    .build();
+                sim.run(500);
+                black_box(sim.metrics().delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Route-planning setup cost: LGG needs nothing, the comparator pays a
+/// max-flow + decomposition.
+fn bench_setup(c: &mut Criterion) {
+    let spec = spec();
+    let mut group = c.benchmark_group("protocol_setup");
+    group.bench_function("maxflow-routing", |b| {
+        b.iter(|| black_box(MaxFlowRouting::new(&spec).hop_count()))
+    });
+    group.bench_function("shortest-path", |b| {
+        b.iter(|| black_box(ShortestPathRouting::new(&spec).distances().len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_protocols, bench_setup
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Bench: the kernels behind experiments E1/E4/E8 — stability runs on
+//! unsaturated, saturated and infeasible networks, plus the classifier
+//! that gates them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgg_core::Lgg;
+use mgraph::generators;
+use netmodel::{classify, TrafficSpec, TrafficSpecBuilder};
+use simqueue::injection::UniformInjection;
+use simqueue::{HistoryMode, SimulationBuilder};
+use std::hint::black_box;
+
+fn unsaturated() -> TrafficSpec {
+    TrafficSpecBuilder::new(generators::grid2d(5, 5))
+        .source(0, 1)
+        .sink(24, 4)
+        .build()
+        .unwrap()
+}
+
+fn saturated() -> TrafficSpec {
+    TrafficSpecBuilder::new(generators::dumbbell(4, 2))
+        .source(0, 1)
+        .sink(9, 4)
+        .build()
+        .unwrap()
+}
+
+fn infeasible() -> TrafficSpec {
+    TrafficSpecBuilder::new(generators::path(5))
+        .source(0, 3)
+        .sink(4, 3)
+        .build()
+        .unwrap()
+}
+
+fn bench_stability_runs(c: &mut Criterion) {
+    let cases = [
+        ("unsaturated-grid", unsaturated()),
+        ("saturated-dumbbell", saturated()),
+        ("infeasible-path", infeasible()),
+    ];
+    let mut group = c.benchmark_group("stability_run/2000steps");
+    for (name, spec) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), spec, |b, spec| {
+            b.iter(|| {
+                let mut sim = SimulationBuilder::new(spec.clone(), Box::new(Lgg::new()))
+                    .history(HistoryMode::Sampled(16))
+                    .build();
+                sim.run(2000);
+                black_box(sim.metrics().sup_pt)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniform_arrivals(c: &mut Criterion) {
+    // The E8 kernel: uniform arrivals near the critical ratio.
+    let spec = TrafficSpecBuilder::new(generators::layered_diamond(2, 4))
+        .source(0, 16)
+        .sink(10, 8)
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("uniform_arrivals/2000steps");
+    for mu in [2u64, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("mu{mu}")), &spec, |b, spec| {
+            b.iter(|| {
+                let mut sim = SimulationBuilder::new(spec.clone(), Box::new(Lgg::new()))
+                    .injection(Box::new(UniformInjection { mean: mu }))
+                    .history(HistoryMode::None)
+                    .build();
+                sim.run(2000);
+                black_box(sim.metrics().sup_total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let cases = [
+        ("unsaturated-grid", unsaturated()),
+        ("saturated-dumbbell", saturated()),
+        ("infeasible-path", infeasible()),
+    ];
+    let mut group = c.benchmark_group("classify");
+    for (name, spec) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), spec, |b, spec| {
+            b.iter(|| black_box(classify(spec)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stability_runs, bench_uniform_arrivals, bench_classifier
+}
+criterion_main!(benches);

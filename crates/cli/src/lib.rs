@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # lgg-cli — scenario files and the `lgg-sim` runner
+//!
+//! A downstream user should not need to write Rust to try LGG on their
+//! network. This crate defines a JSON [`Scenario`] format covering the
+//! whole model surface — topology, traffic (classic and R-generalized),
+//! protocol, arrival process, loss model, topology dynamics, lying and
+//! extraction policies — and a binary that runs it:
+//!
+//! ```text
+//! lgg-sim scenario.json            # run, print a human report
+//! lgg-sim scenario.json --json     # machine-readable report on stdout
+//! lgg-sim --template > my.json     # start from a commented template
+//! ```
+//!
+//! Example scenario:
+//!
+//! ```json
+//! {
+//!   "topology": {"kind": "dumbbell", "clique": 4, "bridge": 2},
+//!   "sources": [{"node": 0, "rate": 1}],
+//!   "sinks":   [{"node": 9, "rate": 4}],
+//!   "protocol": "lgg",
+//!   "loss": {"kind": "iid", "p": 0.1},
+//!   "steps": 50000,
+//!   "seed": 7,
+//!   "track_ages": true
+//! }
+//! ```
+
+mod report;
+mod scenario;
+
+pub use report::{run_scenario, RunReport};
+pub use scenario::{
+    DeclarationSpec, DynamicsSpec, Endpoint, ExtractionSpec, GeneralizedNode, InjectionSpec,
+    LossSpec, ProtocolSpec, Scenario, ScenarioError, TopologySpec,
+};

@@ -1,0 +1,227 @@
+//! Distributed push–relabel routing: the protocol the paper's
+//! Goldberg–Tarjan citation suggests as LGG's sibling.
+//!
+//! The paper observes that LGG "can be related to the distributed
+//! algorithm for the maximum flow problem proposed by Goldberg and
+//! Tarjan". LGG uses *queue lengths* as the gradient; the push–relabel
+//! view uses explicit *height labels* maintained by local relabeling:
+//!
+//! * sinks are pinned at height 0;
+//! * a node pushes one packet over each incident link whose far end is
+//!   strictly lower, while packets remain (same send rule as LGG, but on
+//!   heights);
+//! * a node holding packets with **no** lower active neighbor *relabels*
+//!   itself to `1 + min` neighbor height — the Goldberg–Tarjan relabel,
+//!   executed with purely local information.
+//!
+//! On a static network the heights converge to hop distances (relabeling
+//! is distributed Bellman–Ford), after which the protocol behaves like
+//! multipath shortest-path forwarding — queue-oblivious, so it shares
+//! shortest-path routing's congestion blind spot, but unlike it the
+//! heights *re-converge by themselves* after topology changes. Comparing
+//! it against LGG isolates what using queues **as** the gradient buys.
+
+use mgraph::NodeId;
+use simqueue::{NetView, RoutingProtocol, Transmission};
+
+/// Distributed push–relabel forwarding (height-gradient routing).
+#[derive(Debug, Default)]
+pub struct HeightRouting {
+    height: Vec<u64>,
+    budget: Vec<u64>,
+}
+
+impl HeightRouting {
+    /// Creates the protocol; heights initialize lazily to 0 and rise by
+    /// local relabeling.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current height labels (for tests and analysis).
+    pub fn heights(&self) -> &[u64] {
+        &self.height
+    }
+}
+
+impl RoutingProtocol for HeightRouting {
+    fn name(&self) -> &'static str {
+        "height-routing"
+    }
+
+    fn plan(&mut self, view: &NetView<'_>, out: &mut Vec<Transmission>) {
+        let g = view.graph;
+        let n = g.node_count();
+        if self.height.len() < n {
+            self.height.resize(n, 0);
+            self.budget.resize(n, 0);
+        }
+        // Sinks stay pinned at 0.
+        for v in g.nodes() {
+            if view.spec.out_rate(v) > 0 {
+                self.height[v.index()] = 0;
+            }
+        }
+        self.budget.copy_from_slice(view.true_queues);
+
+        for u in g.nodes() {
+            if self.budget[u.index()] == 0 || view.spec.out_rate(u) > 0 {
+                continue; // nothing to send, or a sink keeping its packets
+            }
+            let h_u = self.height[u.index()];
+            let mut pushed_any = false;
+            let mut min_active: Option<u64> = None;
+            for link in g.incident_links(u) {
+                if !view.is_active(link.edge) {
+                    continue;
+                }
+                let h_v = self.height[link.neighbor.index()];
+                min_active = Some(min_active.map_or(h_v, |m: u64| m.min(h_v)));
+                if h_v < h_u && self.budget[u.index()] > 0 {
+                    self.budget[u.index()] -= 1;
+                    pushed_any = true;
+                    out.push(Transmission {
+                        edge: link.edge,
+                        from: u,
+                    });
+                }
+            }
+            // Relabel: stuck with packets and no downhill active neighbor.
+            if !pushed_any {
+                if let Some(m) = min_active {
+                    self.height[u.index()] = m + 1;
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.height.clear();
+        self.budget.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgraph::generators;
+    use netmodel::TrafficSpecBuilder;
+    use simqueue::{assess_stability, HistoryMode, SimulationBuilder, StabilityVerdict};
+
+    #[test]
+    fn converges_and_delivers_at_rate_on_a_path() {
+        let spec = TrafficSpecBuilder::new(generators::path(5))
+            .source(0, 1)
+            .sink(4, 1)
+            .build()
+            .unwrap();
+        let mut sim = SimulationBuilder::new(spec, Box::new(HeightRouting::new()))
+            .history(HistoryMode::None)
+            .build();
+        sim.run(100);
+        // Convergence (distributed Bellman–Ford) costs a few steps per
+        // hop; afterwards delivery tracks injection.
+        let m = sim.metrics();
+        assert!(m.delivered >= 85, "delivered {}", m.delivered);
+    }
+
+    #[test]
+    fn stable_on_feasible_path_and_low_backlog() {
+        let spec = TrafficSpecBuilder::new(generators::path(6))
+            .source(0, 1)
+            .sink(5, 1)
+            .build()
+            .unwrap();
+        let mut sim = SimulationBuilder::new(spec, Box::new(HeightRouting::new()))
+            .history(HistoryMode::Sampled(8))
+            .build();
+        sim.run(8000);
+        let m = sim.metrics();
+        assert_eq!(
+            assess_stability(&m.history).verdict,
+            StabilityVerdict::Stable
+        );
+        // After convergence the pipeline holds ~1 packet per hop.
+        assert!(m.sup_total <= 30, "sup {}", m.sup_total);
+        assert!(m.delivery_ratio() > 0.95);
+        assert_eq!(m.rejected_plans, 0);
+    }
+
+    #[test]
+    fn reconverges_after_outage() {
+        // Cycle with source opposite the sink: two routes. Knock one side
+        // out for a while; heights re-form; delivery continues afterwards.
+        let spec = TrafficSpecBuilder::new(generators::cycle(8))
+            .source(0, 1)
+            .sink(4, 2)
+            .build()
+            .unwrap();
+        let affected: Vec<bool> = spec
+            .graph
+            .edges()
+            .map(|e| {
+                let (u, v) = spec.graph.endpoints(e);
+                u.index() < 4 && v.index() <= 4 // one semicircle
+            })
+            .collect();
+        let mut sim = SimulationBuilder::new(spec, Box::new(HeightRouting::new()))
+            .topology(Box::new(simqueue::dynamic::PeriodicOutage {
+                affected,
+                period: 400,
+                down_for: 200,
+            }))
+            .history(HistoryMode::Sampled(8))
+            .build();
+        sim.run(8000);
+        let m = sim.metrics();
+        assert!(
+            assess_stability(&m.history).verdict != StabilityVerdict::Diverging,
+            "sup {}",
+            m.sup_total
+        );
+        assert!(m.delivery_ratio() > 0.8, "delivery {}", m.delivery_ratio());
+    }
+
+    #[test]
+    fn plans_respect_budget_and_links() {
+        let spec = TrafficSpecBuilder::new(generators::star(3))
+            .source(1, 1)
+            .sink(3, 1)
+            .build()
+            .unwrap();
+        let mut sim = SimulationBuilder::new(spec, Box::new(HeightRouting::new()))
+            .history(HistoryMode::None)
+            .build();
+        sim.run(500);
+        assert_eq!(sim.metrics().rejected_plans, 0);
+        let stored: u64 = sim.queues().iter().sum();
+        let m = sim.metrics();
+        assert_eq!(m.injected, stored + m.delivered + m.lost);
+    }
+
+    #[test]
+    fn queue_oblivious_congestion_blind_spot() {
+        // The diversity trap from E11: heights converge to shortest paths,
+        // so height routing funnels into the near under-provisioned sink —
+        // diverging where LGG stays stable.
+        let mut b = mgraph::MultiGraphBuilder::with_nodes(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 3), (3, 4), (4, 5)] {
+            b.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+        }
+        let spec = TrafficSpecBuilder::new(b.build())
+            .source(0, 2)
+            .sink(2, 1)
+            .sink(5, 2)
+            .build()
+            .unwrap();
+        let mut sim = SimulationBuilder::new(spec, Box::new(HeightRouting::new()))
+            .history(HistoryMode::Sampled(8))
+            .build();
+        sim.run(8000);
+        assert_eq!(
+            assess_stability(&sim.metrics().history).verdict,
+            StabilityVerdict::Diverging,
+            "height routing should be congestion-blind here"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Comparator protocols.
+//!
+//! * [`MaxFlowRouting`] — the paper's explicit comparator (Section III):
+//!   "an optimal algorithm consisting in sending the packets through the
+//!   links of a maximum flow". Centralized and clairvoyant; defines the
+//!   stability region LGG is measured against.
+//! * [`ShortestPathRouting`] — queue-oblivious geographic-style forwarding
+//!   toward the nearest sink; the canonical *non*-gradient baseline.
+//! * [`HeightRouting`] — distributed push–relabel: explicit Goldberg–Tarjan
+//!   height labels maintained by local relabeling; isolates what using the
+//!   queues *themselves* as the gradient buys LGG.
+//! * [`RandomForward`] and [`Flood`] — gradient-free strawmen that bound
+//!   what the greedy gradient actually buys.
+
+mod height_routing;
+mod maxflow_routing;
+mod shortest_path;
+mod simple;
+
+pub use height_routing::HeightRouting;
+pub use maxflow_routing::MaxFlowRouting;
+pub use shortest_path::ShortestPathRouting;
+pub use simple::{Flood, RandomForward};

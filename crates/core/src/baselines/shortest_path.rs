@@ -1,0 +1,149 @@
+//! Queue-oblivious shortest-path forwarding toward the nearest sink.
+
+use mgraph::ops;
+use netmodel::TrafficSpec;
+use simqueue::{NetView, RoutingProtocol, Transmission};
+
+/// Forward every available packet along links that strictly decrease the
+/// hop distance to the nearest sink, ignoring queue lengths entirely.
+///
+/// This is the classic geographic/greedy-by-distance strategy. It shares
+/// LGG's locality (the distance field could be computed by distributed
+/// BFS) but not its gradient: on topologies whose max flow needs path
+/// *diversity* (several disjoint routes of different lengths), shortest-
+/// path funnels everything down the few shortest routes and goes unstable
+/// where LGG remains stable — exactly the contrast experiment E11 draws.
+#[derive(Debug)]
+pub struct ShortestPathRouting {
+    dist: Vec<u32>,
+    budget: Vec<u64>,
+}
+
+impl ShortestPathRouting {
+    /// Precomputes the distance-to-nearest-sink field for `spec`.
+    pub fn new(spec: &TrafficSpec) -> Self {
+        let sinks: Vec<_> = spec.sinks().collect();
+        let dist = ops::bfs_distances_to_set(&spec.graph, &sinks);
+        ShortestPathRouting {
+            dist,
+            budget: vec![0; spec.node_count()],
+        }
+    }
+
+    /// The precomputed distance field (hops to nearest sink).
+    pub fn distances(&self) -> &[u32] {
+        &self.dist
+    }
+}
+
+impl RoutingProtocol for ShortestPathRouting {
+    fn name(&self) -> &'static str {
+        "shortest-path"
+    }
+
+    fn plan(&mut self, view: &NetView<'_>, out: &mut Vec<Transmission>) {
+        self.budget.copy_from_slice(view.true_queues);
+        for u in view.graph.nodes() {
+            if self.budget[u.index()] == 0 || self.dist[u.index()] == 0 {
+                continue; // empty, or already at a sink
+            }
+            let du = self.dist[u.index()];
+            for link in view.graph.incident_links(u) {
+                if self.budget[u.index()] == 0 {
+                    break;
+                }
+                if !view.is_active(link.edge) {
+                    continue;
+                }
+                if self.dist[link.neighbor.index()] < du {
+                    self.budget[u.index()] -= 1;
+                    out.push(Transmission {
+                        edge: link.edge,
+                        from: u,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgraph::generators;
+    use netmodel::TrafficSpecBuilder;
+    use simqueue::{HistoryMode, SimulationBuilder};
+
+    #[test]
+    fn distance_field_is_correct() {
+        let spec = TrafficSpecBuilder::new(generators::path(5))
+            .source(0, 1)
+            .sink(4, 1)
+            .build()
+            .unwrap();
+        let r = ShortestPathRouting::new(&spec);
+        assert_eq!(r.distances(), &[4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn stable_on_a_simple_path() {
+        let spec = TrafficSpecBuilder::new(generators::path(5))
+            .source(0, 1)
+            .sink(4, 1)
+            .build()
+            .unwrap();
+        let r = ShortestPathRouting::new(&spec);
+        let mut sim = SimulationBuilder::new(spec, Box::new(r))
+            .history(HistoryMode::None)
+            .build();
+        sim.run(500);
+        assert!(sim.metrics().sup_total <= 8);
+        assert!(sim.metrics().delivery_ratio() > 0.95);
+    }
+
+    #[test]
+    fn congests_when_flow_needs_diversity() {
+        // Two sinks reachable, but the nearest one has tiny extraction:
+        // shortest-path ignores that and floods the near sink.
+        // Path: source 0 - 1 - 2(sink out=1)   and   0 - 3 - 4 - 5(sink out=2)
+        let mut b = mgraph::MultiGraphBuilder::with_nodes(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 3), (3, 4), (4, 5)] {
+            b.add_edge(mgraph::NodeId::new(u), mgraph::NodeId::new(v))
+                .unwrap();
+        }
+        let spec = TrafficSpecBuilder::new(b.build())
+            .source(0, 2)
+            .sink(2, 1)
+            .sink(5, 2)
+            .build()
+            .unwrap();
+        // Feasible: 1 unit to each sink.
+        let class = netmodel::classify(&spec);
+        assert!(class.feasibility.is_feasible());
+        let r = ShortestPathRouting::new(&spec);
+        let mut sim = SimulationBuilder::new(spec, Box::new(r))
+            .history(HistoryMode::Sampled(8))
+            .build();
+        sim.run(4000);
+        // Everything goes to the near sink (distance 2 < 3): half the
+        // arrival rate cannot be extracted and backlogs grow linearly.
+        let report = simqueue::assess_stability(&sim.metrics().history);
+        assert_eq!(report.verdict, simqueue::StabilityVerdict::Diverging);
+    }
+
+    #[test]
+    fn sink_nodes_do_not_forward() {
+        let spec = TrafficSpecBuilder::new(generators::path(3))
+            .source(0, 1)
+            .sink(1, 1)
+            .build()
+            .unwrap();
+        let r = ShortestPathRouting::new(&spec);
+        let mut sim = SimulationBuilder::new(spec, Box::new(r))
+            .history(HistoryMode::None)
+            .build();
+        sim.run(100);
+        // Node 2 (beyond the sink) never receives anything.
+        assert_eq!(sim.queues()[2], 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Edmonds–Karp: shortest augmenting paths by BFS, `O(V E²)`.
+//!
+//! Kept as the simplest correct reference against which Dinic and
+//! push–relabel are property-tested.
+
+use std::collections::VecDeque;
+
+use crate::FlowNetwork;
+
+/// Runs Edmonds–Karp on the current residual network; returns the value of
+/// the flow pushed (on a freshly [`FlowNetwork::reset`] network, the max
+/// flow).
+pub(crate) fn solve(net: &mut FlowNetwork, s: usize, t: usize) -> i64 {
+    let n = net.node_count();
+    let mut total = 0i64;
+    // pred[v] = arc used to enter v on the current BFS tree; u32::MAX = unvisited.
+    let mut pred = vec![u32::MAX; n];
+    let mut queue = VecDeque::with_capacity(n);
+
+    loop {
+        pred.iter_mut().for_each(|p| *p = u32::MAX);
+        queue.clear();
+        queue.push_back(s);
+        // Mark s visited with a sentinel that is not u32::MAX but also never
+        // dereferenced: arc ids are < 2^31 in practice, use MAX-1.
+        pred[s] = u32::MAX - 1;
+        let mut reached = false;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &a in net.arcs_from(u) {
+                if net.res(a) <= 0 {
+                    continue;
+                }
+                let v = net.head_of(a);
+                if pred[v] != u32::MAX {
+                    continue;
+                }
+                pred[v] = a;
+                if v == t {
+                    reached = true;
+                    break 'bfs;
+                }
+                queue.push_back(v);
+            }
+        }
+        if !reached {
+            return total;
+        }
+        // Bottleneck along the path t -> s.
+        let mut bottleneck = i64::MAX;
+        let mut v = t;
+        while v != s {
+            let a = pred[v];
+            bottleneck = bottleneck.min(net.res(a));
+            v = net.head_of(a ^ 1);
+        }
+        debug_assert!(bottleneck > 0);
+        let mut v = t;
+        while v != s {
+            let a = pred[v];
+            net.push(a, bottleneck);
+            v = net.head_of(a ^ 1);
+        }
+        total += bottleneck;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Algorithm, FlowNetwork};
+
+    #[test]
+    fn single_arc() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1, Algorithm::EdmondsKarp), 7);
+    }
+
+    #[test]
+    fn series_takes_minimum() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 5);
+        net.add_arc(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2, Algorithm::EdmondsKarp), 3);
+    }
+
+    #[test]
+    fn parallel_paths_add() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 2);
+        net.add_arc(1, 3, 2);
+        net.add_arc(0, 2, 3);
+        net.add_arc(2, 3, 3);
+        assert_eq!(net.max_flow(0, 3, Algorithm::EdmondsKarp), 5);
+    }
+
+    #[test]
+    fn classic_clrs_network() {
+        // CLRS figure 26.6 instance; max flow 23.
+        let mut net = FlowNetwork::new(6);
+        let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
+        net.add_arc(s, v1, 16);
+        net.add_arc(s, v2, 13);
+        net.add_arc(v1, v3, 12);
+        net.add_arc(v2, v1, 4);
+        net.add_arc(v2, v4, 14);
+        net.add_arc(v3, v2, 9);
+        net.add_arc(v3, t, 20);
+        net.add_arc(v4, v3, 7);
+        net.add_arc(v4, t, 4);
+        assert_eq!(net.max_flow(s, t, Algorithm::EdmondsKarp), 23);
+    }
+
+    #[test]
+    fn disconnected_gives_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 10);
+        assert_eq!(net.max_flow(0, 2, Algorithm::EdmondsKarp), 0);
+    }
+
+    #[test]
+    fn undirected_edge_usable_both_ways() {
+        // path 0 - 1 - 2 with undirected unit edges: one unit flows 0->2.
+        let mut net = FlowNetwork::new(3);
+        net.add_undirected(0, 1, 1);
+        net.add_undirected(2, 1, 1); // reversed insertion order on purpose
+        assert_eq!(net.max_flow(0, 2, Algorithm::EdmondsKarp), 1);
+    }
+
+    #[test]
+    fn zero_capacity_arcs_carry_nothing() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 0);
+        assert_eq!(net.max_flow(0, 1, Algorithm::EdmondsKarp), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimum-cut extraction from a solved residual network.
+//!
+//! After a max flow is computed, the set `A` of nodes reachable from `s` in
+//! the residual graph, together with `B = V \ A`, is a minimum cut
+//! (max-flow/min-cut theorem). The paper's induction (Section V-C) keys on
+//! exactly this partition of the extended graph `G*`, and on whether the cut
+//! hugs the virtual source (`A = {s*}`), the virtual sink (`B = {d*}`), or
+//! crosses the interior of `G`.
+
+use std::collections::VecDeque;
+
+use crate::FlowNetwork;
+
+/// A minimum `s`–`t` cut: the side containing `s` plus the capacity that
+/// crosses it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinCut {
+    /// `side[v]` is true iff `v` lies on the source side `A`.
+    pub side: Vec<bool>,
+    /// Total original capacity of arcs from `A` to `B` (= max-flow value).
+    pub capacity: i64,
+    /// Number of nodes on the source side.
+    pub size_a: usize,
+}
+
+impl MinCut {
+    /// True iff `A = {s}` — the paper's case 1 ("cut at the virtual
+    /// source") when computed on `G*` with `s = s*`.
+    pub fn is_source_singleton(&self) -> bool {
+        self.size_a == 1
+    }
+
+    /// True iff `B = {t}` — the paper's case 2 ("saturated at `d*`").
+    pub fn is_sink_singleton(&self) -> bool {
+        self.size_a == self.side.len() - 1
+    }
+}
+
+/// Computes the source side of a minimum cut on an already-solved network:
+/// BFS from `s` over strictly positive residual arcs.
+///
+/// Must be called *after* [`FlowNetwork::max_flow`]; calling it on a fresh
+/// network returns the trivial cut reachable by all capacities.
+pub fn min_cut_side(net: &FlowNetwork, s: usize) -> MinCut {
+    let n = net.node_count();
+    let mut side = vec![false; n];
+    let mut queue = VecDeque::new();
+    side[s] = true;
+    queue.push_back(s);
+    let mut size_a = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for &a in net.arcs_from(u) {
+            let v = net.head_of(a);
+            if net.res(a) > 0 && !side[v] {
+                side[v] = true;
+                size_a += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    // Capacity of the cut: sum original capacities of arcs A -> B.
+    let mut capacity = 0i64;
+    for u in 0..n {
+        if !side[u] {
+            continue;
+        }
+        for &a in net.arcs_from(u) {
+            let v = net.head_of(a);
+            if !side[v] {
+                capacity += net.capacity_of(crate::ArcId(a));
+            }
+        }
+    }
+    MinCut {
+        side,
+        capacity,
+        size_a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, FlowNetwork};
+
+    #[test]
+    fn cut_capacity_equals_max_flow() {
+        let mut net = FlowNetwork::new(6);
+        let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
+        net.add_arc(s, v1, 16);
+        net.add_arc(s, v2, 13);
+        net.add_arc(v1, v3, 12);
+        net.add_arc(v2, v1, 4);
+        net.add_arc(v2, v4, 14);
+        net.add_arc(v3, v2, 9);
+        net.add_arc(v3, t, 20);
+        net.add_arc(v4, v3, 7);
+        net.add_arc(v4, t, 4);
+        let f = net.max_flow(s, t, Algorithm::Dinic);
+        let cut = min_cut_side(&net, s);
+        assert_eq!(cut.capacity, f);
+        assert!(cut.side[s]);
+        assert!(!cut.side[t]);
+    }
+
+    #[test]
+    fn bottleneck_cut_isolates_bridge() {
+        // 0-1 bridge 1-2, all unit: cut value 1.
+        let mut net = FlowNetwork::new(3);
+        net.add_undirected(0, 1, 1);
+        net.add_undirected(1, 2, 1);
+        let f = net.max_flow(0, 2, Algorithm::Dinic);
+        assert_eq!(f, 1);
+        let cut = min_cut_side(&net, 0);
+        assert_eq!(cut.capacity, 1);
+        assert!(cut.side[0]);
+        assert!(!cut.side[2]);
+    }
+
+    #[test]
+    fn source_singleton_detected() {
+        // s has one unit arc out; everything else is wide.
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 1);
+        net.add_arc(1, 2, 100);
+        let f = net.max_flow(0, 2, Algorithm::PushRelabel);
+        assert_eq!(f, 1);
+        let cut = min_cut_side(&net, 0);
+        assert!(cut.is_source_singleton());
+        assert!(!cut.is_sink_singleton());
+    }
+
+    #[test]
+    fn sink_singleton_detected() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 100);
+        net.add_arc(1, 2, 1);
+        let f = net.max_flow(0, 2, Algorithm::EdmondsKarp);
+        assert_eq!(f, 1);
+        let cut = min_cut_side(&net, 0);
+        assert!(cut.is_sink_singleton());
+        assert!(!cut.is_source_singleton());
+    }
+
+    #[test]
+    fn parallel_edges_counted_in_capacity() {
+        let g = mgraph::generators::parallel_pair(4);
+        let mut net = FlowNetwork::from_multigraph_unit(&g);
+        let f = net.max_flow(0, 1, Algorithm::Dinic);
+        let cut = min_cut_side(&net, 0);
+        assert_eq!(f, 4);
+        assert_eq!(cut.capacity, 4);
+    }
+}

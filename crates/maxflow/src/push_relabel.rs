@@ -1,0 +1,299 @@
+//! Goldberg–Tarjan push–relabel: FIFO and highest-label selection rules,
+//! with the gap heuristic (switchable for the ablation bench).
+//!
+//! The paper relates LGG to "the distributed algorithm for the maximum flow
+//! problem proposed by Goldberg and Tarjan" — both move units downhill
+//! along a local gradient (heights here, queue lengths in LGG) using only
+//! neighbor information. Implementing the original algorithm keeps that
+//! connection concrete and provides independent max-flow oracles for
+//! cross-checking.
+
+use std::collections::VecDeque;
+
+use crate::FlowNetwork;
+
+/// Shared state of one push–relabel run.
+struct PushRelabel<'a> {
+    net: &'a mut FlowNetwork,
+    s: usize,
+    t: usize,
+    height: Vec<u32>,
+    excess: Vec<i64>,
+    cursor: Vec<usize>,
+    /// Gap heuristic bookkeeping: nodes per height (when enabled).
+    height_count: Option<Vec<u32>>,
+}
+
+impl<'a> PushRelabel<'a> {
+    fn new(net: &'a mut FlowNetwork, s: usize, t: usize, gap: bool) -> Self {
+        let n = net.node_count();
+        let mut pr = PushRelabel {
+            net,
+            s,
+            t,
+            height: vec![0; n],
+            excess: vec![0; n],
+            cursor: vec![0; n],
+            height_count: gap.then(|| {
+                let mut hc = vec![0u32; 2 * n + 1];
+                hc[0] = n as u32;
+                hc
+            }),
+        };
+        pr.set_height(s, n as u32);
+        pr
+    }
+
+    fn set_height(&mut self, v: usize, h: u32) {
+        if let Some(hc) = &mut self.height_count {
+            hc[self.height[v] as usize] -= 1;
+            if (h as usize) < hc.len() {
+                hc[h as usize] += 1;
+            }
+        }
+        self.height[v] = h;
+    }
+
+    /// Saturates all arcs out of `s`; returns the nodes that became active.
+    fn saturate_source(&mut self) -> Vec<usize> {
+        let mut active = Vec::new();
+        let s_arcs: Vec<u32> = self.net.arcs_from(self.s).to_vec();
+        for a in s_arcs {
+            let cap = self.net.res(a);
+            if cap > 0 {
+                let v = self.net.head_of(a);
+                self.net.push(a, cap);
+                self.excess[v] += cap;
+                self.excess[self.s] -= cap;
+                if v != self.t && v != self.s {
+                    active.push(v);
+                }
+            }
+        }
+        active.sort_unstable();
+        active.dedup();
+        active
+    }
+
+    /// Discharges `u` until its excess is gone; pushes newly-activated
+    /// nodes through `activate`.
+    fn discharge(&mut self, u: usize, mut activate: impl FnMut(usize, u32)) {
+        let n = self.net.node_count() as u32;
+        while self.excess[u] > 0 {
+            if self.cursor[u] == self.net.arcs_from(u).len() {
+                // Relabel.
+                let old_h = self.height[u];
+                let mut min_h = u32::MAX;
+                for &a in self.net.arcs_from(u) {
+                    if self.net.res(a) > 0 {
+                        min_h = min_h.min(self.height[self.net.head_of(a)]);
+                    }
+                }
+                if min_h == u32::MAX {
+                    unreachable!("excess node {u} has no residual arc");
+                }
+                // Heights stay below 2n for any valid preflow, so excess
+                // always drains back to s, leaving a genuine flow.
+                let new_h = min_h + 1;
+                debug_assert!(new_h < 2 * n);
+                self.set_height(u, new_h);
+                self.cursor[u] = 0;
+                // Gap heuristic: if no node remains at old_h, every node
+                // above old_h (except s) can never reach t — lift past n.
+                let gap = self
+                    .height_count
+                    .as_ref()
+                    .is_some_and(|hc| old_h < n && hc[old_h as usize] == 0);
+                if gap {
+                    for v in 0..self.net.node_count() {
+                        if v != self.s && self.height[v] > old_h && self.height[v] <= n {
+                            self.set_height(v, n + 1);
+                        }
+                    }
+                }
+                continue;
+            }
+            let a = self.net.arcs_from(u)[self.cursor[u]];
+            let v = self.net.head_of(a);
+            if self.net.res(a) > 0 && self.height[u] == self.height[v] + 1 {
+                let amount = self.excess[u].min(self.net.res(a));
+                self.net.push(a, amount);
+                self.excess[u] -= amount;
+                let was_inactive = self.excess[v] == 0;
+                self.excess[v] += amount;
+                if was_inactive && v != self.s && v != self.t {
+                    activate(v, self.height[v]);
+                }
+            } else {
+                self.cursor[u] += 1;
+            }
+        }
+    }
+}
+
+/// FIFO push–relabel (gap heuristic on). The default `PushRelabel`.
+pub(crate) fn solve(net: &mut FlowNetwork, s: usize, t: usize) -> i64 {
+    solve_fifo(net, s, t, true)
+}
+
+/// FIFO push–relabel without the gap heuristic — the ablation variant.
+pub(crate) fn solve_no_gap(net: &mut FlowNetwork, s: usize, t: usize) -> i64 {
+    solve_fifo(net, s, t, false)
+}
+
+fn solve_fifo(net: &mut FlowNetwork, s: usize, t: usize, gap: bool) -> i64 {
+    let n = net.node_count();
+    let mut pr = PushRelabel::new(net, s, t, gap);
+    let mut queue: VecDeque<usize> = VecDeque::with_capacity(n);
+    let mut in_queue = vec![false; n];
+    for v in pr.saturate_source() {
+        in_queue[v] = true;
+        queue.push_back(v);
+    }
+    while let Some(u) = queue.pop_front() {
+        in_queue[u] = false;
+        pr.discharge(u, |v, _| {
+            if !in_queue[v] {
+                in_queue[v] = true;
+                queue.push_back(v);
+            }
+        });
+        // `discharge` only returns with excess[u] == 0, so u need not be
+        // re-queued here; it re-activates when someone pushes to it.
+    }
+    pr.excess[t]
+}
+
+/// Highest-label push–relabel (gap heuristic on): always discharge an
+/// active node of maximal height, via height buckets.
+///
+/// Bucket positions can go stale when the gap heuristic lifts a waiting
+/// node; push–relabel is correct under *any* active-node selection order,
+/// so a stale entry only weakens the "highest" preference, never the
+/// result.
+pub(crate) fn solve_highest(net: &mut FlowNetwork, s: usize, t: usize) -> i64 {
+    let n = net.node_count();
+    let mut pr = PushRelabel::new(net, s, t, true);
+    // Buckets of active nodes by height at activation time. Heights < 2n.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); 2 * n + 2];
+    let mut highest = 0usize;
+    let mut active = 0usize;
+    for v in pr.saturate_source() {
+        let h = pr.height[v] as usize;
+        buckets[h].push(v);
+        active += 1;
+        highest = highest.max(h);
+    }
+    while active > 0 {
+        // Find the highest non-empty bucket (one exists: active > 0).
+        while buckets[highest].is_empty() {
+            highest -= 1;
+        }
+        let u = buckets[highest].pop().expect("non-empty bucket");
+        active -= 1;
+        let mut new_high = 0usize;
+        let mut activated = 0usize;
+        pr.discharge(u, |v, h| {
+            // Activation: excess[v] just turned positive, so v is in no
+            // bucket (it leaves exactly when popped, with excess zeroed).
+            let h = h as usize;
+            buckets[h].push(v);
+            activated += 1;
+            new_high = new_high.max(h);
+        });
+        active += activated;
+        // `u` ends discharged (excess 0); newly-activated nodes may sit
+        // higher than the old `highest`.
+        highest = highest.max(new_high).min(2 * n + 1);
+    }
+    pr.excess[t]
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Algorithm, FlowNetwork};
+
+    fn clrs() -> FlowNetwork {
+        let mut net = FlowNetwork::new(6);
+        let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
+        net.add_arc(s, v1, 16);
+        net.add_arc(s, v2, 13);
+        net.add_arc(v1, v3, 12);
+        net.add_arc(v2, v1, 4);
+        net.add_arc(v2, v4, 14);
+        net.add_arc(v3, v2, 9);
+        net.add_arc(v3, t, 20);
+        net.add_arc(v4, v3, 7);
+        net.add_arc(v4, t, 4);
+        net
+    }
+
+    const PR_VARIANTS: [Algorithm; 3] = [
+        Algorithm::PushRelabel,
+        Algorithm::PushRelabelHighest,
+        Algorithm::PushRelabelNoGap,
+    ];
+
+    #[test]
+    fn all_variants_match_known_value() {
+        for algo in PR_VARIANTS {
+            let mut net = clrs();
+            assert_eq!(net.max_flow(0, 5, algo), 23, "{algo}");
+        }
+    }
+
+    #[test]
+    fn two_node_network() {
+        for algo in PR_VARIANTS {
+            let mut net = FlowNetwork::new(2);
+            net.add_arc(0, 1, 9);
+            assert_eq!(net.max_flow(0, 1, algo), 9, "{algo}");
+        }
+    }
+
+    #[test]
+    fn disconnected_gives_zero() {
+        for algo in PR_VARIANTS {
+            let mut net = FlowNetwork::new(4);
+            net.add_arc(0, 1, 3);
+            net.add_arc(2, 3, 3);
+            assert_eq!(net.max_flow(0, 3, algo), 0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn excess_returns_cleanly_on_dead_ends() {
+        for algo in PR_VARIANTS {
+            let mut net = FlowNetwork::new(3);
+            net.add_arc(0, 1, 5);
+            net.add_arc(1, 2, 2);
+            assert_eq!(net.max_flow(0, 2, algo), 2, "{algo}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_grid() {
+        let g = mgraph::generators::grid2d(5, 5);
+        let mut reference = FlowNetwork::from_multigraph_unit(&g);
+        let expected = reference.max_flow(0, 24, Algorithm::Dinic);
+        for algo in PR_VARIANTS {
+            let mut net = FlowNetwork::from_multigraph_unit(&g);
+            assert_eq!(net.max_flow(0, 24, algo), expected, "{algo}");
+        }
+    }
+
+    #[test]
+    fn flow_conservation_after_solve() {
+        for algo in PR_VARIANTS {
+            let g = mgraph::generators::hypercube(3);
+            let mut net = FlowNetwork::from_multigraph_unit(&g);
+            let f = net.max_flow(0, 7, algo);
+            assert_eq!(f, 3, "{algo}");
+            assert_eq!(net.net_outflow(0), f, "{algo}");
+            assert_eq!(net.net_outflow(7), -f, "{algo}");
+            for v in 1..7 {
+                assert_eq!(net.net_outflow(v), 0, "conservation at {v} for {algo}");
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+
+//! # mgraph — a compact undirected multigraph substrate
+//!
+//! The paper *Stability of a localized and greedy routing algorithm*
+//! (IPPS 2010) models the network as a **multigraph** `G = (V, E)`: parallel
+//! edges are meaningful because every link can carry one packet per time
+//! step, so two parallel links double the per-step capacity between their
+//! endpoints. This crate provides that substrate from scratch:
+//!
+//! * [`MultiGraph`] — an immutable, CSR-packed undirected multigraph with
+//!   O(1) endpoint lookup and cache-friendly neighbor iteration, built via
+//!   [`MultiGraphBuilder`].
+//! * [`generators`] — the topology families used throughout the experiment
+//!   suite (paths, grids, tori, random multigraphs, dumbbells, hypercubes,
+//!   random-geometric graphs, ...).
+//! * [`ops`] — BFS distances, connectivity, components, diameter, induced
+//!   subgraphs and edge-multiplicity queries.
+//! * [`dot`] — Graphviz export used to regenerate the paper's model figures.
+//!
+//! The representation is deliberately index-based (`u32` ids) rather than
+//! pointer-based: the simulator's hot loop iterates incident links of every
+//! node every step, and a CSR layout keeps that loop allocation-free and
+//! sequential in memory (see the Rust Performance Book's guidance on
+//! iteration and heap allocation).
+//!
+//! ```
+//! use mgraph::{MultiGraphBuilder, NodeId};
+//!
+//! let mut b = MultiGraphBuilder::new();
+//! let u = b.add_node();
+//! let v = b.add_node();
+//! b.add_edge(u, v).unwrap();
+//! b.add_edge(u, v).unwrap(); // parallel edge: this is a multigraph
+//! let g = b.build();
+//! assert_eq!(g.degree(u), 2);
+//! assert_eq!(g.edge_multiplicity(u, v), 2);
+//! ```
+
+mod graph;
+
+pub mod dot;
+pub mod generators;
+pub mod ops;
+
+pub use graph::{EdgeId, IncidentLink, MultiGraph, MultiGraphBuilder, NodeId};
+
+/// Errors produced while constructing or manipulating multigraphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint refers to a node id that was never created.
+    InvalidNode(NodeId),
+    /// Self-loops are rejected: a link from a node to itself cannot move a
+    /// packet and has no meaning in the S-D-network model.
+    SelfLoop(NodeId),
+    /// An edge id out of range was supplied.
+    InvalidEdge(EdgeId),
+    /// More than `u32::MAX` nodes or edges were requested.
+    TooLarge,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::InvalidNode(v) => write!(f, "invalid node id {}", v.index()),
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {} rejected", v.index()),
+            GraphError::InvalidEdge(e) => write!(f, "invalid edge id {}", e.index()),
+            GraphError::TooLarge => write!(f, "graph exceeds u32 index space"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::SelfLoop(NodeId::new(3));
+        assert!(e.to_string().contains("self-loop"));
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::InvalidNode(NodeId::new(7));
+        assert!(e.to_string().contains('7'));
+        let e = GraphError::InvalidEdge(EdgeId::new(9));
+        assert!(e.to_string().contains('9'));
+        assert!(GraphError::TooLarge.to_string().contains("u32"));
+    }
+}

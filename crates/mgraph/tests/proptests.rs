@@ -1,0 +1,195 @@
+//! Property-based tests for the multigraph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mgraph::{generators, ops, MultiGraphBuilder, NodeId};
+
+/// Strategy: a random edge list over `n` nodes with up to `m` edges
+/// (parallel edges allowed, no self-loops).
+fn edge_list(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..(n - 1) as u32).prop_map(move |(u, v)| {
+            let v = if v >= u { v + 1 } else { v };
+            (u, v)
+        });
+        (Just(n), prop::collection::vec(edge, 0..=max_m))
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> mgraph::MultiGraph {
+    let mut b = MultiGraphBuilder::with_nodes(n);
+    for &(u, v) in edges {
+        b.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    /// Handshake lemma: the degree sum equals twice the edge count.
+    #[test]
+    fn handshake_lemma((n, edges) in edge_list(40, 120)) {
+        let g = build(n, &edges);
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        prop_assert_eq!(g.total_degree(), 2 * g.edge_count());
+    }
+
+    /// Every incident link of `v` names an edge with `v` as one endpoint and
+    /// `neighbor` as the other.
+    #[test]
+    fn incidence_consistency((n, edges) in edge_list(30, 80)) {
+        let g = build(n, &edges);
+        for v in g.nodes() {
+            for link in g.incident_links(v) {
+                let (a, b) = g.endpoints(link.edge);
+                prop_assert!(a == v || b == v);
+                prop_assert_eq!(g.other_endpoint(link.edge, v), link.neighbor);
+            }
+        }
+    }
+
+    /// Every edge appears exactly once in each endpoint's incidence list.
+    #[test]
+    fn each_edge_in_both_incidence_lists((n, edges) in edge_list(30, 80)) {
+        let g = build(n, &edges);
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            let cu = g.incident_links(u).iter().filter(|l| l.edge == e).count();
+            let cv = g.incident_links(v).iter().filter(|l| l.edge == e).count();
+            prop_assert_eq!(cu, 1);
+            prop_assert_eq!(cv, 1);
+        }
+    }
+
+    /// Edge multiplicity is symmetric.
+    #[test]
+    fn multiplicity_symmetric((n, edges) in edge_list(20, 60)) {
+        let g = build(n, &edges);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(g.edge_multiplicity(u, v), g.edge_multiplicity(v, u));
+            }
+        }
+    }
+
+    /// BFS distance satisfies the triangle property along edges: distances
+    /// of adjacent nodes differ by at most 1.
+    #[test]
+    fn bfs_lipschitz_along_edges((n, edges) in edge_list(30, 80)) {
+        let g = build(n, &edges);
+        let d = ops::bfs_distances(&g, NodeId::new(0));
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            let (du, dv) = (d[u.index()], d[v.index()]);
+            if du != u32::MAX && dv != u32::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                // one endpoint unreachable implies both are
+                prop_assert_eq!(du, dv);
+            }
+        }
+    }
+
+    /// Components partition the nodes, and nodes joined by an edge share a
+    /// component label.
+    #[test]
+    fn components_are_edge_consistent((n, edges) in edge_list(30, 80)) {
+        let g = build(n, &edges);
+        let (k, labels) = ops::components(&g);
+        prop_assert!(k >= 1 || n == 0);
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            prop_assert_eq!(labels[u.index()], labels[v.index()]);
+        }
+        for &l in &labels {
+            prop_assert!((l as usize) < k);
+        }
+        prop_assert_eq!(ops::is_connected(&g), k <= 1);
+    }
+
+    /// Serde round-trip preserves the graph exactly.
+    #[test]
+    fn serde_round_trip((n, edges) in edge_list(15, 40)) {
+        let g = build(n, &edges);
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: mgraph::MultiGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Induced subgraph on all nodes is the identity (up to equality).
+    #[test]
+    fn induced_on_everything_is_identity((n, edges) in edge_list(15, 40)) {
+        let g = build(n, &edges);
+        let keep: Vec<NodeId> = g.nodes().collect();
+        let (sub, remap) = ops::induced_subgraph(&g, &keep);
+        prop_assert_eq!(sub.node_count(), g.node_count());
+        prop_assert_eq!(sub.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            prop_assert_eq!(remap[v.index()] as usize, v.index());
+        }
+    }
+
+    /// Connected random graphs are connected for any seed.
+    #[test]
+    fn connected_random_always_connected(seed in any::<u64>(), n in 1usize..60, extra in 0usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_random(n, extra, &mut rng);
+        prop_assert!(ops::is_connected(&g));
+        prop_assert_eq!(g.node_count(), n);
+    }
+
+    /// gnm produces exactly m edges and never self-loops.
+    #[test]
+    fn gnm_edge_count(seed in any::<u64>(), n in 2usize..40, m in 0usize..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm_multigraph(n, m, &mut rng);
+        prop_assert_eq!(g.edge_count(), m);
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            prop_assert_ne!(u, v);
+        }
+    }
+
+    /// An edge is reported as a bridge iff its removal increases the
+    /// number of connected components — the definition, checked by brute
+    /// force.
+    #[test]
+    fn bridges_match_brute_force((n, edges) in edge_list(18, 40)) {
+        let g = build(n, &edges);
+        let reported: std::collections::HashSet<_> =
+            ops::bridges(&g).into_iter().collect();
+        let (base_components, _) = ops::components(&g);
+        for e in g.edges() {
+            let mut b = MultiGraphBuilder::with_nodes(n);
+            for other in g.edges() {
+                if other != e {
+                    let (u, v) = g.endpoints(other);
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+            let (k, _) = ops::components(&b.build());
+            let is_bridge = k > base_components;
+            prop_assert_eq!(
+                reported.contains(&e),
+                is_bridge,
+                "edge {} bridge mismatch", e
+            );
+        }
+    }
+
+    /// Cut size of the whole-vs-empty partition is zero; singleton cuts
+    /// equal degrees.
+    #[test]
+    fn cut_size_degenerate_cases((n, edges) in edge_list(20, 60)) {
+        let g = build(n, &edges);
+        let all = vec![true; g.node_count()];
+        prop_assert_eq!(ops::cut_size(&g, &all), 0);
+        for v in g.nodes() {
+            let mut side = vec![false; g.node_count()];
+            side[v.index()] = true;
+            prop_assert_eq!(ops::cut_size(&g, &side), g.degree(v));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Run metrics: the paper's network state `P_t` plus throughput counters.
+
+use serde::{Deserialize, Serialize};
+
+/// How much history to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistoryMode {
+    /// Keep only running aggregates (cheapest; long stability runs).
+    None,
+    /// Record a [`Snapshot`] every `stride` steps.
+    Sampled(u64),
+    /// Record every step (drift analysis).
+    EveryStep,
+}
+
+/// One recorded point of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Time step.
+    pub t: u64,
+    /// Network state `P_t = Σ_v q_t(v)²` (Definition 1).
+    pub pt: u128,
+    /// Total stored packets `Σ_v q_t(v)`.
+    pub total_packets: u64,
+    /// Largest single queue.
+    pub max_queue: u64,
+}
+
+/// Aggregated metrics of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Steps executed.
+    pub steps: u64,
+    /// Total packets injected by sources.
+    pub injected: u64,
+    /// Total packets extracted by sinks ("delivered").
+    pub delivered: u64,
+    /// Total packets destroyed in flight by the loss model.
+    pub lost: u64,
+    /// Total transmissions executed (including lost ones).
+    pub sent: u64,
+    /// Transmissions the protocol planned but the engine rejected
+    /// (overdrawn queue, duplicate link, inactive link). Zero for a
+    /// well-behaved protocol.
+    pub rejected_plans: u64,
+    /// Supremum of `P_t` over the run.
+    pub sup_pt: u128,
+    /// Supremum of total stored packets over the run.
+    pub sup_total: u64,
+    /// Largest queue ever seen at a single node.
+    pub max_queue_ever: u64,
+    /// `Σ_t total_packets(t)` — by Little's law, `packet_steps /
+    /// delivered` estimates the average packet latency.
+    pub packet_steps: u128,
+    /// Transmissions carried per link (lost ones included: the link was
+    /// used). `link_sends[e] / steps` is the utilization of link `e` —
+    /// saturated min-cut links sit at ≈ 1.
+    pub link_sends: Vec<u64>,
+    /// Recorded history per [`HistoryMode`].
+    pub history: Vec<Snapshot>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            steps: 0,
+            injected: 0,
+            delivered: 0,
+            lost: 0,
+            sent: 0,
+            rejected_plans: 0,
+            sup_pt: 0,
+            sup_total: 0,
+            max_queue_ever: 0,
+            packet_steps: 0,
+            link_sends: Vec::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Utilization of link `e`: transmissions per step over the run.
+    pub fn link_utilization(&self, e: usize) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.link_sends.get(e).copied().unwrap_or(0) as f64 / self.steps as f64
+    }
+
+    /// The busiest links, as `(edge index, utilization)`, most-used first.
+    pub fn busiest_links(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut order: Vec<usize> = (0..self.link_sends.len()).collect();
+        order.sort_unstable_by_key(|&e| std::cmp::Reverse(self.link_sends[e]));
+        order
+            .into_iter()
+            .take(k)
+            .map(|e| (e, self.link_utilization(e)))
+            .collect()
+    }
+
+    /// Fraction of injected packets that were eventually extracted.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.injected as f64
+    }
+
+    /// Little's-law estimate of the mean time a packet spends stored.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            return f64::INFINITY;
+        }
+        self.packet_steps as f64 / self.delivered as f64
+    }
+
+    /// Average stored packets per step.
+    pub fn mean_backlog(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.packet_steps as f64 / self.steps as f64
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let m = Metrics::new();
+        assert_eq!(m.delivery_ratio(), 0.0);
+        assert!(m.mean_latency().is_infinite());
+        assert_eq!(m.mean_backlog(), 0.0);
+    }
+
+    #[test]
+    fn littles_law_arithmetic() {
+        let mut m = Metrics::new();
+        m.steps = 10;
+        m.injected = 20;
+        m.delivered = 10;
+        m.packet_steps = 50;
+        assert_eq!(m.delivery_ratio(), 0.5);
+        assert_eq!(m.mean_latency(), 5.0);
+        assert_eq!(m.mean_backlog(), 5.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = Metrics::new();
+        m.history.push(Snapshot {
+            t: 3,
+            pt: 12,
+            total_packets: 4,
+            max_queue: 2,
+        });
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Metrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,212 @@
+//! Empirical stability assessment.
+//!
+//! Definition 2 calls a protocol *stable* when the number of stored packets
+//! stays bounded. A finite run can only approximate that; the detector
+//! splits the trajectory (after a warm-up third) into windows and compares
+//! their backlog suprema:
+//!
+//! * **Stable** — the windowed maxima stop growing (the trajectory
+//!   plateaus); reported with the observed supremum.
+//! * **Diverging** — the windowed maxima grow steadily; reported with the
+//!   per-step growth slope (an infeasible network run with rate `ρ > f*`
+//!   should show slope ≈ `ρ − f*`, Theorem 1's converse).
+//! * **Undecided** — too little data or ambiguous growth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Snapshot;
+
+/// Verdict of [`assess_stability`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StabilityVerdict {
+    /// Backlog plateaued.
+    Stable,
+    /// Backlog grows linearly.
+    Diverging,
+    /// Not enough signal.
+    Undecided,
+}
+
+/// Detailed stability report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilityReport {
+    /// The verdict.
+    pub verdict: StabilityVerdict,
+    /// Supremum of total stored packets over the assessed suffix.
+    pub sup_total: u64,
+    /// Least-squares slope of total packets per step over the suffix.
+    pub slope: f64,
+    /// Windowed maxima used for the plateau test (diagnostic).
+    pub window_maxima: Vec<u64>,
+}
+
+/// Assesses a recorded trajectory.
+///
+/// `history` must be (roughly) evenly spaced snapshots. The first third is
+/// discarded as warm-up; the rest is split into `windows` windows whose
+/// maxima must be non-increasing-ish (within `tolerance`, relative) for a
+/// `Stable` verdict, or steadily increasing for `Diverging`.
+pub fn assess_stability(history: &[Snapshot]) -> StabilityReport {
+    const WINDOWS: usize = 4;
+    if history.len() < 8 * WINDOWS {
+        return StabilityReport {
+            verdict: StabilityVerdict::Undecided,
+            sup_total: history.iter().map(|s| s.total_packets).max().unwrap_or(0),
+            slope: 0.0,
+            window_maxima: Vec::new(),
+        };
+    }
+    let start = history.len() / 3;
+    let tail = &history[start..];
+    let sup_total = tail.iter().map(|s| s.total_packets).max().unwrap_or(0);
+
+    // Least-squares slope of total_packets against t over the tail.
+    let slope = least_squares_slope(tail);
+
+    // Windowed maxima.
+    let w = tail.len() / WINDOWS;
+    let window_maxima: Vec<u64> = (0..WINDOWS)
+        .map(|i| {
+            tail[i * w..(i + 1) * w]
+                .iter()
+                .map(|s| s.total_packets)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+
+    let first = window_maxima[0].max(1) as f64;
+    let last = *window_maxima.last().unwrap() as f64;
+    let growth = last / first;
+
+    // Span of time covered by the tail, to convert relative growth into a
+    // slope significance test.
+    let dt = (tail.last().unwrap().t - tail.first().unwrap().t).max(1) as f64;
+    let predicted_growth = slope * dt;
+
+    // A handful of packets sloshing around is never divergence: relative
+    // growth tests are meaningless below this absolute floor.
+    const TINY: f64 = 24.0;
+    let verdict = if last <= TINY {
+        StabilityVerdict::Stable
+    } else if growth <= 1.10 && predicted_growth <= 0.05 * last.max(16.0) {
+        StabilityVerdict::Stable
+    } else if window_maxima.windows(2).all(|p| p[1] >= p[0])
+        && growth >= 1.5
+        && slope > 0.0
+        && last > 2.0 * TINY
+    {
+        StabilityVerdict::Diverging
+    } else {
+        StabilityVerdict::Undecided
+    };
+
+    StabilityReport {
+        verdict,
+        sup_total,
+        slope,
+        window_maxima,
+    }
+}
+
+fn least_squares_slope(points: &[Snapshot]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let mean_t = points.iter().map(|s| s.t as f64).sum::<f64>() / n;
+    let mean_y = points.iter().map(|s| s.total_packets as f64).sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for s in points {
+        let dt = s.t as f64 - mean_t;
+        num += dt * (s.total_packets as f64 - mean_y);
+        den += dt * dt;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snaps(values: impl Iterator<Item = u64>) -> Vec<Snapshot> {
+        values
+            .enumerate()
+            .map(|(t, v)| Snapshot {
+                t: t as u64,
+                pt: (v as u128) * (v as u128),
+                total_packets: v,
+                max_queue: v,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_trajectory_is_stable() {
+        let h = snaps((0..200).map(|_| 10));
+        let r = assess_stability(&h);
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+        assert_eq!(r.sup_total, 10);
+        assert!(r.slope.abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_plateau_is_stable() {
+        let h = snaps((0..400).map(|t| 50 + (t % 7)));
+        let r = assess_stability(&h);
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn linear_growth_diverges() {
+        let h = snaps((0..300).map(|t| 5 + 3 * t));
+        let r = assess_stability(&h);
+        assert_eq!(r.verdict, StabilityVerdict::Diverging);
+        assert!((r.slope - 3.0).abs() < 0.1, "slope {}", r.slope);
+    }
+
+    #[test]
+    fn slow_growth_still_diverges() {
+        let h = snaps((0..2000).map(|t| 10 + t / 4));
+        let r = assess_stability(&h);
+        assert_eq!(r.verdict, StabilityVerdict::Diverging);
+    }
+
+    #[test]
+    fn short_history_is_undecided() {
+        let h = snaps((0..10).map(|_| 5));
+        let r = assess_stability(&h);
+        assert_eq!(r.verdict, StabilityVerdict::Undecided);
+    }
+
+    #[test]
+    fn ramp_then_plateau_is_stable() {
+        // Warm-up growth followed by a long plateau: the discarded first
+        // third hides the ramp.
+        let h = snaps((0..600).map(|t| if t < 150 { t } else { 150 }));
+        let r = assess_stability(&h);
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+        assert_eq!(r.sup_total, 150);
+    }
+
+    #[test]
+    fn tiny_fluctuations_are_stable_not_diverging() {
+        // A handful of packets growing 1 -> 3 across windows must not be
+        // called divergence.
+        let h = snaps((0..400).map(|t| 1 + t / 150));
+        let r = assess_stability(&h);
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn empty_history_is_undecided() {
+        let r = assess_stability(&[]);
+        assert_eq!(r.verdict, StabilityVerdict::Undecided);
+        assert_eq!(r.sup_total, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Datacenter fabric: a leaf–spine Clos with *trunked* (parallel) links —
+//! the multigraph capacity model is exactly the paper's.
+//!
+//! Hosts on two leaves stream traffic to egress hosts on other leaves.
+//! We compare LGG against clairvoyant max-flow routing, then break a
+//! trunk mid-run and watch LGG re-form its gradient while the static
+//! route plan cannot adapt.
+//!
+//! ```text
+//! cargo run --release --example datacenter_fabric
+//! ```
+
+use lgg_core::baselines::MaxFlowRouting;
+use lgg_core::Lgg;
+use mgraph::generators;
+use netmodel::{classify, TrafficSpecBuilder};
+use simqueue::dynamic::PeriodicOutage;
+use simqueue::{assess_stability, HistoryMode, RoutingProtocol, SimulationBuilder};
+
+fn main() {
+    // 4 leaves, 2 spines, 2 parallel trunks per leaf-spine pair,
+    // 3 hosts per leaf. Node layout: leaves 0..4, spines 4..6, hosts 6..18.
+    let fabric = generators::leaf_spine(4, 2, 2, 3);
+    let host = |leaf: u32, i: u32| 6 + leaf * 3 + i;
+
+    // Sinks are the egress *leaf switches* (ids 2 and 3): a host's single
+    // access link caps it at 1 pkt/step, which would bottleneck the fabric.
+    let spec = TrafficSpecBuilder::new(fabric.clone())
+        .source(host(0, 0), 1)
+        .source(host(0, 1), 1)
+        .source(host(1, 0), 1)
+        .sink(2, 2)
+        .sink(3, 2)
+        .build()
+        .expect("fabric spec");
+
+    let class = classify(&spec);
+    println!(
+        "fabric: {} switches+hosts, {} links (trunked), Δ = {}",
+        spec.node_count(),
+        spec.graph.edge_count(),
+        spec.max_degree()
+    );
+    println!(
+        "load 3 pkt/step vs f* = {}; classification {:?}",
+        class.f_star, class.feasibility
+    );
+
+    let steps = 20_000;
+    // Phase 1: healthy fabric.
+    for (label, protocol) in [
+        ("LGG", Box::new(Lgg::new()) as Box<dyn RoutingProtocol>),
+        ("max-flow routing", Box::new(MaxFlowRouting::new(&spec))),
+    ] {
+        let mut sim = SimulationBuilder::new(spec.clone(), protocol)
+            .history(HistoryMode::Sampled(16))
+            .seed(1)
+            .build();
+        sim.run(steps);
+        let m = sim.metrics();
+        println!(
+            "healthy fabric, {label}: {:?}, sup backlog {}, latency {:.1}",
+            assess_stability(&m.history).verdict,
+            m.sup_total,
+            m.mean_latency()
+        );
+    }
+
+    // Phase 2: leaf-0's trunks to spine 0 flap periodically (down half the
+    // time). LGG adapts hop by hop; the precomputed path plan loses the
+    // capacity it was built on whenever the trunk is down.
+    let mut affected = vec![false; fabric.edge_count()];
+    for e in fabric.edges() {
+        let (u, v) = fabric.endpoints(e);
+        let pair = (u.index().min(v.index()), u.index().max(v.index()));
+        if pair == (0, 4) {
+            affected[e.index()] = true;
+        }
+    }
+    let flapping = move || PeriodicOutage {
+        affected: affected.clone(),
+        period: 200,
+        down_for: 100,
+    };
+    for (label, protocol) in [
+        ("LGG", Box::new(Lgg::new()) as Box<dyn RoutingProtocol>),
+        ("max-flow routing", Box::new(MaxFlowRouting::new(&spec))),
+    ] {
+        let mut sim = SimulationBuilder::new(spec.clone(), protocol)
+            .topology(Box::new(flapping()))
+            .history(HistoryMode::Sampled(16))
+            .seed(1)
+            .build();
+        sim.run(steps);
+        let m = sim.metrics();
+        println!(
+            "flapping trunk, {label}: {:?}, sup backlog {}, delivered {:.1}%",
+            assess_stability(&m.history).verdict,
+            m.sup_total,
+            100.0 * m.delivery_ratio()
+        );
+    }
+    println!(
+        "LGG needs no reconvergence protocol: queue gradients are the routing state — \
+         the localized property the paper's introduction motivates"
+    );
+}

@@ -1,0 +1,102 @@
+//! Sensor field: the deployment that motivates localized protocols.
+//!
+//! A random-geometric field of sensors periodically reports readings to
+//! two gateway sinks over lossy wireless links, with node-exclusive
+//! interference. No routing tables, no global view — every sensor runs
+//! Algorithm 1 against its neighbors' queue lengths.
+//!
+//! ```text
+//! cargo run --release --example sensor_field
+//! ```
+
+use lgg_core::interference::MatchingLgg;
+use lgg_core::Lgg;
+use mgraph::{generators, ops, NodeId};
+use netmodel::{classify, TrafficSpecBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simqueue::injection::BernoulliInjection;
+use simqueue::loss::GilbertElliottLoss;
+use simqueue::{assess_stability, HistoryMode, RoutingProtocol, SimulationBuilder};
+
+fn main() {
+    // Deploy ~60 sensors in the unit square; radio range 0.22 keeps the
+    // field connected with Δ around 8–12.
+    let mut rng = StdRng::seed_from_u64(2026);
+    let field = loop {
+        let g = generators::random_geometric(60, 0.22, &mut rng);
+        if ops::is_connected(&g) {
+            break g;
+        }
+    };
+
+    // The two nodes farthest apart become gateways; spread-out,
+    // well-connected sensors report readings. Greedily add reporters while
+    // the field stays feasible (Definition 3) — a deployment tool would do
+    // the same admission check.
+    let dist0 = ops::bfs_distances(&field, NodeId::new(0));
+    let far = (0..60).max_by_key(|&v| dist0[v]).unwrap() as u32;
+    let mut chosen: Vec<u32> = Vec::new();
+    for v in (0..60).step_by(6) {
+        let v = v as u32;
+        if v == 0 || v == far || field.degree(NodeId::new(v)) < 3 || chosen.len() >= 10 {
+            continue;
+        }
+        let mut b = TrafficSpecBuilder::new(field.clone()).sink(0, 8).sink(far, 8);
+        for &c in chosen.iter().chain(std::iter::once(&v)) {
+            b = b.source(c, 1);
+        }
+        let candidate = b.build().expect("sensor field spec");
+        if classify(&candidate).feasibility.is_feasible() {
+            chosen.push(v);
+        }
+    }
+    let sources = chosen.len();
+    let mut builder = TrafficSpecBuilder::new(field.clone()).sink(0, 8).sink(far, 8);
+    for &c in &chosen {
+        builder = builder.source(c, 1);
+    }
+    let spec = builder.build().expect("sensor field spec");
+
+    let class = classify(&spec);
+    println!(
+        "field: n = {}, links = {}, Δ = {}, {} reporters -> 2 gateways",
+        spec.node_count(),
+        spec.graph.edge_count(),
+        spec.max_degree(),
+        sources
+    );
+    println!("feasibility: {:?} (f* = {})", class.feasibility, class.f_star);
+
+    // Wireless conditions: bursty Gilbert–Elliott losses; duty-cycled
+    // sensing. Under node-exclusive interference each radio can be active
+    // on one link per step, roughly halving capacity — so the interference
+    // run duty-cycles harder, exactly as a real deployment would.
+    let steps = 30_000;
+    for (label, duty, protocol) in [
+        ("LGG (no interference), duty 0.5", 0.5, Box::new(Lgg::new()) as Box<dyn RoutingProtocol>),
+        ("LGG + matching oracle, duty 0.2", 0.2, Box::new(MatchingLgg::new())),
+    ] {
+        let mut sim = SimulationBuilder::new(spec.clone(), protocol)
+            .injection(Box::new(BernoulliInjection::new(duty)))
+            .loss(Box::new(GilbertElliottLoss::new(0.02, 0.4, 0.05, 0.3)))
+            .history(HistoryMode::Sampled(32))
+            .seed(7)
+            .build();
+        sim.run(steps);
+        let m = sim.metrics();
+        let verdict = assess_stability(&m.history).verdict;
+        println!("--- {label} ({steps} steps) ---");
+        println!(
+            "  verdict {verdict:?}; sup backlog {}; delivered {:.1}% of injected; \
+             mean latency {:.1} steps",
+            m.sup_total,
+            100.0 * m.delivery_ratio(),
+            m.mean_latency()
+        );
+    }
+    println!(
+        "note: losses shrink delivery but never destabilize — the paper's remark that \
+         'packet losses here only improve the protocol stability' in action"
+    );
+}
