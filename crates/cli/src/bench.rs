@@ -1,0 +1,247 @@
+//! `lgg-sim bench`: a fixed throughput suite timing the sparse active-set
+//! engine ([`EngineMode::SparseActive`]) against the dense reference engine
+//! ([`EngineMode::DenseReference`]) and writing the numbers to
+//! `BENCH_throughput.json`.
+//!
+//! The suite is deliberately small and fixed so successive runs (and
+//! successive PRs) produce comparable files:
+//!
+//! * `grid-16x16-steady` / `grid-64x64-steady` — single source/sink pair on
+//!   a grid, feasible rates, shortest-path forwarding: the steady state
+//!   keeps only the packets in flight busy, so almost the whole grid is
+//!   idle. This is the sparse engine's home turf. (The protocol matters:
+//!   LGG's steady state is a network-wide queue *gradient* — nearly every
+//!   node holds packets by construction — so a draining protocol is the
+//!   one that actually exhibits a sparse active set.)
+//! * `lgg-gradient-16x16` — the same grid under LGG, recording the dense
+//!   gradient regime honestly: here the active set is nearly all of `V`
+//!   and sparse bookkeeping is pure overhead.
+//! * `random-512-dense` — an oversubscribed random graph where backlogs
+//!   grow everywhere; the active set approaches all of `V` and the two
+//!   engines should converge (an honest worst case).
+//! * three files from `scenarios/` — saturated dumbbell, lossy sensor
+//!   field (matching-LGG + Gilbert–Elliott loss), bursty R-generalized
+//!   gauntlet (lying + lazy extraction) — covering the declaration and
+//!   loss machinery.
+//!
+//! Each case is run once untimed as warm-up, then `REPS` times per engine
+//! mode; the fastest repetition is reported (minimum-of-N is the usual
+//! noise filter for throughput benches).
+
+use std::time::Instant;
+
+use serde::Serialize;
+use simqueue::{EngineMode, HistoryMode};
+
+use crate::{Endpoint, ProtocolSpec, Scenario, ScenarioError, TopologySpec};
+
+/// Timed repetitions per (case, engine) pair; the fastest is reported.
+const REPS: usize = 3;
+
+/// Throughput numbers for one engine on one case.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EngineThroughput {
+    /// Simulation steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Nanoseconds per (node + edge) · step — a size-normalized cost that
+    /// is comparable across topologies.
+    pub ns_per_node_edge_step: f64,
+}
+
+/// One benchmark case: both engines on the same scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchCase {
+    /// Suite-stable case name.
+    pub name: String,
+    /// Node count of the topology.
+    pub nodes: usize,
+    /// Edge count of the topology.
+    pub edges: usize,
+    /// Steps simulated per timed repetition.
+    pub steps: u64,
+    /// Sparse active-set engine numbers.
+    pub sparse: EngineThroughput,
+    /// Dense reference engine numbers (the seed engine's cost profile).
+    pub dense: EngineThroughput,
+    /// `sparse.steps_per_sec / dense.steps_per_sec`.
+    pub speedup: f64,
+}
+
+/// The whole suite, as serialized to `BENCH_throughput.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Provenance marker for the file.
+    pub generated_by: String,
+    /// One entry per suite case, in suite order.
+    pub cases: Vec<BenchCase>,
+}
+
+/// Builds the three synthetic suite scenarios.
+fn synthetic_cases(quick: bool) -> Vec<(String, Scenario, u64)> {
+    let base = Scenario::from_json(
+        r#"{"topology": {"kind": "path", "n": 2},
+            "sources": [{"node": 0, "rate": 1}],
+            "sinks": [{"node": 1, "rate": 1}],
+            "protocol": "lgg"}"#,
+    )
+    .expect("static template parses");
+
+    let grid16 = Scenario {
+        topology: TopologySpec::Grid2d { rows: 16, cols: 16 },
+        sources: vec![Endpoint { node: 0, rate: 1 }],
+        sinks: vec![Endpoint { node: 255, rate: 2 }],
+        protocol: ProtocolSpec::ShortestPath,
+        seed: 1,
+        ..base.clone()
+    };
+    let grid64 = Scenario {
+        topology: TopologySpec::Grid2d { rows: 64, cols: 64 },
+        sources: vec![Endpoint { node: 0, rate: 1 }],
+        sinks: vec![Endpoint { node: 4095, rate: 2 }],
+        protocol: ProtocolSpec::ShortestPath,
+        seed: 1,
+        ..base.clone()
+    };
+    let lgg16 = Scenario {
+        protocol: ProtocolSpec::Lgg,
+        ..grid16.clone()
+    };
+    // Oversubscribed: 64 spread sources feed one sink whose extraction
+    // cannot keep up, so queues grow network-wide and the active set
+    // approaches all of V.
+    let random512 = Scenario {
+        topology: TopologySpec::ConnectedRandom {
+            n: 512,
+            extra: 1536,
+            seed: 42,
+        },
+        sources: (0..64).map(|i| Endpoint { node: i * 8, rate: 1 }).collect(),
+        sinks: vec![Endpoint { node: 511, rate: 64 }],
+        protocol: ProtocolSpec::Lgg,
+        seed: 1,
+        ..base
+    };
+
+    let scale = if quick { 10 } else { 1 };
+    vec![
+        ("grid-16x16-steady".into(), grid16, 50_000 / scale),
+        ("grid-64x64-steady".into(), grid64, 10_000 / scale),
+        ("lgg-gradient-16x16".into(), lgg16, 20_000 / scale),
+        ("random-512-dense".into(), random512, 2_000 / scale),
+    ]
+}
+
+/// The `scenarios/` files in the suite, with step counts capped so the
+/// dense engine finishes in seconds.
+const SCENARIO_FILES: &[(&str, &str, u64)] = &[
+    ("saturated-dumbbell", "saturated_dumbbell.json", 20_000),
+    ("lossy-sensor-field", "lossy_sensor_field.json", 20_000),
+    ("bursty-rgen-gauntlet", "bursty_rgen_gauntlet.json", 20_000),
+];
+
+fn time_engine(sc: &Scenario, mode: EngineMode, steps: u64) -> Result<f64, ScenarioError> {
+    // Warm-up: populate caches and fault pages outside the measurement.
+    let mut warm = sc.build_simulation_with(mode, HistoryMode::None)?;
+    warm.run(steps.min(1_000));
+
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut sim = sc.build_simulation_with(mode, HistoryMode::None)?;
+        let t = Instant::now();
+        sim.run(steps);
+        let ns = t.elapsed().as_nanos() as f64;
+        // Consume a result so the run cannot be optimized away.
+        std::hint::black_box(sim.metrics().sup_total);
+        if ns < best_ns {
+            best_ns = ns;
+        }
+    }
+    Ok(best_ns)
+}
+
+fn round(x: f64, decimals: i32) -> f64 {
+    let f = 10f64.powi(decimals);
+    (x * f).round() / f
+}
+
+fn run_case(name: &str, sc: &Scenario, steps: u64) -> Result<BenchCase, ScenarioError> {
+    let spec = sc.traffic_spec()?;
+    let nodes = spec.graph.node_count();
+    let edges = spec.graph.edge_count();
+    let size = (nodes + edges) as f64;
+
+    let per_mode = |mode| -> Result<EngineThroughput, ScenarioError> {
+        let ns = time_engine(sc, mode, steps)?;
+        Ok(EngineThroughput {
+            steps_per_sec: round(steps as f64 / (ns / 1e9), 1),
+            ns_per_node_edge_step: round(ns / (steps as f64 * size), 3),
+        })
+    };
+    let sparse = per_mode(EngineMode::SparseActive)?;
+    let dense = per_mode(EngineMode::DenseReference)?;
+
+    Ok(BenchCase {
+        name: name.to_string(),
+        nodes,
+        edges,
+        steps,
+        sparse,
+        dense,
+        speedup: round(sparse.steps_per_sec / dense.steps_per_sec, 2),
+    })
+}
+
+/// Runs the fixed suite. `scenario_dir` is where the `scenarios/` files
+/// live (normally `scenarios` relative to the repo root); `quick` divides
+/// the step counts by 10 for smoke runs.
+pub fn run_bench_suite(scenario_dir: &str, quick: bool) -> Result<BenchReport, ScenarioError> {
+    let mut cases = Vec::new();
+    for (name, sc, steps) in synthetic_cases(quick) {
+        eprintln!("bench: {name} ({steps} steps x{REPS} reps x2 engines)...");
+        cases.push(run_case(&name, &sc, steps)?);
+    }
+    for &(name, file, steps) in SCENARIO_FILES {
+        let path = format!("{scenario_dir}/{file}");
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            ScenarioError::Invalid(format!(
+                "cannot read {path}: {e} (run `lgg-sim bench` from the repo root \
+                 or pass --scenarios DIR)"
+            ))
+        })?;
+        let sc = Scenario::from_json(&text)?;
+        let steps = if quick { steps / 10 } else { steps };
+        eprintln!("bench: {name} ({steps} steps x{REPS} reps x2 engines)...");
+        cases.push(run_case(name, &sc, steps)?);
+    }
+    Ok(BenchReport {
+        generated_by: "lgg-sim bench (fixed suite; schema documented in DESIGN.md)".into(),
+        cases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_cases_build_and_step() {
+        for (name, sc, _) in synthetic_cases(true) {
+            let mut sim = sc
+                .build_simulation_with(EngineMode::SparseActive, HistoryMode::None)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            sim.run(10);
+        }
+    }
+
+    #[test]
+    fn quick_suite_produces_all_cases() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+        let report = run_bench_suite(dir, true).unwrap();
+        assert_eq!(report.cases.len(), 7);
+        for c in &report.cases {
+            assert!(c.sparse.steps_per_sec > 0.0, "{}", c.name);
+            assert!(c.dense.steps_per_sec > 0.0, "{}", c.name);
+            assert!(c.speedup > 0.0, "{}", c.name);
+        }
+    }
+}

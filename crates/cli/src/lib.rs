@@ -29,9 +29,11 @@
 //! }
 //! ```
 
+mod bench;
 mod report;
 mod scenario;
 
+pub use bench::{run_bench_suite, BenchCase, BenchReport, EngineThroughput};
 pub use report::{run_scenario, RunReport};
 pub use scenario::{
     DeclarationSpec, DynamicsSpec, Endpoint, ExtractionSpec, GeneralizedNode, InjectionSpec,

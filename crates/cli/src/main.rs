@@ -3,7 +3,7 @@
 use std::fs;
 use std::process::ExitCode;
 
-use lgg_cli::{run_scenario, Scenario};
+use lgg_cli::{run_bench_suite, run_scenario, Scenario};
 
 const TEMPLATE: &str = r#"{
   "topology": {"kind": "dumbbell", "clique": 4, "bridge": 2},
@@ -24,6 +24,9 @@ const TEMPLATE: &str = r#"{
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        return run_bench(&args[1..]);
+    }
     let mut json_out = false;
     let mut path: Option<String> = None;
     for a in &args {
@@ -78,11 +81,70 @@ fn main() -> ExitCode {
     }
 }
 
+/// `lgg-sim bench [--quick] [--out FILE] [--scenarios DIR]`: run the fixed
+/// throughput suite and write `BENCH_throughput.json`.
+fn run_bench(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out = String::from("BENCH_throughput.json");
+    let mut scenario_dir = String::from("scenarios");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scenarios" => match it.next() {
+                Some(v) => scenario_dir = v.clone(),
+                None => {
+                    eprintln!("--scenarios needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown bench flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run_bench_suite(&scenario_dir, quick) {
+        Ok(report) => {
+            let json = serde_json::to_string_pretty(&report).expect("serializable");
+            if let Err(e) = fs::write(&out, format!("{json}\n")) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            for c in &report.cases {
+                println!(
+                    "{:<22} {:>7} nodes+edges  sparse {:>12.1} steps/s  dense {:>12.1} steps/s  x{:.2}",
+                    c.name,
+                    c.nodes + c.edges,
+                    c.sparse.steps_per_sec,
+                    c.dense.steps_per_sec,
+                    c.speedup
+                );
+            }
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn print_help() {
     println!(
         "lgg-sim — run an LGG-routing scenario from a JSON file\n\n\
          USAGE: lgg-sim SCENARIO.json [--json]\n\
-         \u{20}      lgg-sim --template   # print a starter scenario\n\n\
+         \u{20}      lgg-sim --template   # print a starter scenario\n\
+         \u{20}      lgg-sim bench [--quick] [--out FILE] [--scenarios DIR]\n\
+         \u{20}                           # throughput suite -> BENCH_throughput.json\n\n\
          The scenario format covers topology, sources/sinks/R-generalized\n\
          nodes, protocol (lgg, matching-lgg, maxflow-routing, shortest-path,\n\
          flood, random-forward), arrival processes, loss models, topology\n\

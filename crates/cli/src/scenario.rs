@@ -480,17 +480,33 @@ impl Scenario {
 
     /// Builds the ready-to-run simulation.
     pub fn build_simulation(&self) -> Result<simqueue::Simulation, ScenarioError> {
+        self.build_simulation_with(
+            simqueue::EngineMode::SparseActive,
+            simqueue::HistoryMode::Sampled((self.steps / 1024).max(1)),
+        )
+    }
+
+    /// Builds the simulation with an explicit engine mode and history mode.
+    ///
+    /// `lgg-sim bench` uses this to time the sparse and dense engines on
+    /// the same scenario without paying for history snapshots.
+    pub fn build_simulation_with(
+        &self,
+        mode: simqueue::EngineMode,
+        history: simqueue::HistoryMode,
+    ) -> Result<simqueue::Simulation, ScenarioError> {
         let spec = self.traffic_spec()?;
         let protocol = self.protocol.build(&spec, self.seed);
         let dynamics = self.dynamics.build(spec.graph.edge_count());
         let sim = SimulationBuilder::new(spec, protocol)
+            .engine_mode(mode)
             .injection(self.injection.build()?)
             .loss(self.loss.build()?)
             .topology(dynamics)
             .declaration(self.declaration.build())
             .extraction(self.extraction.build())
             .seed(self.seed)
-            .history(simqueue::HistoryMode::Sampled((self.steps / 1024).max(1)))
+            .history(history)
             .track_ages(self.track_ages)
             .build();
         Ok(sim)

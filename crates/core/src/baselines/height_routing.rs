@@ -21,14 +21,12 @@
 //! heights *re-converge by themselves* after topology changes. Comparing
 //! it against LGG isolates what using queues **as** the gradient buys.
 
-use mgraph::NodeId;
 use simqueue::{NetView, RoutingProtocol, Transmission};
 
 /// Distributed push–relabel forwarding (height-gradient routing).
 #[derive(Debug, Default)]
 pub struct HeightRouting {
     height: Vec<u64>,
-    budget: Vec<u64>,
 }
 
 impl HeightRouting {
@@ -54,18 +52,16 @@ impl RoutingProtocol for HeightRouting {
         let n = g.node_count();
         if self.height.len() < n {
             self.height.resize(n, 0);
-            self.budget.resize(n, 0);
         }
-        // Sinks stay pinned at 0.
-        for v in g.nodes() {
-            if view.spec.out_rate(v) > 0 {
-                self.height[v.index()] = 0;
-            }
-        }
-        self.budget.copy_from_slice(view.true_queues);
-
-        for u in g.nodes() {
-            if self.budget[u.index()] == 0 || view.spec.out_rate(u) > 0 {
+        // Sinks stay pinned at 0 for free: heights start at 0 and the loop
+        // below never relabels a node with out > 0.
+        //
+        // Only nodes holding packets can push or relabel, so the active
+        // view suffices; the budget lives in a local (it is consumed only
+        // within the owning node's link loop).
+        for &u in view.active_nodes {
+            let mut budget = view.queue_of(u);
+            if budget == 0 || view.spec.out_rate(u) > 0 {
                 continue; // nothing to send, or a sink keeping its packets
             }
             let h_u = self.height[u.index()];
@@ -77,8 +73,8 @@ impl RoutingProtocol for HeightRouting {
                 }
                 let h_v = self.height[link.neighbor.index()];
                 min_active = Some(min_active.map_or(h_v, |m: u64| m.min(h_v)));
-                if h_v < h_u && self.budget[u.index()] > 0 {
-                    self.budget[u.index()] -= 1;
+                if h_v < h_u && budget > 0 {
+                    budget -= 1;
                     pushed_any = true;
                     out.push(Transmission {
                         edge: link.edge,
@@ -97,14 +93,13 @@ impl RoutingProtocol for HeightRouting {
 
     fn reset(&mut self) {
         self.height.clear();
-        self.budget.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgraph::generators;
+    use mgraph::{generators, NodeId};
     use netmodel::TrafficSpecBuilder;
     use simqueue::{assess_stability, HistoryMode, SimulationBuilder, StabilityVerdict};
 

@@ -28,8 +28,11 @@ struct Hop {
 #[derive(Debug)]
 pub struct MaxFlowRouting {
     hops: Vec<Hop>,
-    /// Per-node send budget, reused each step.
+    /// Per-node send budget, initialized lazily per step via `budget_stamp`
+    /// so a plan costs O(hops), not O(n).
     budget: Vec<u64>,
+    budget_stamp: Vec<u64>,
+    stamp: u64,
     /// Max-flow value found at construction (0 for infeasible specs — the
     /// protocol then only routes the feasible fraction).
     flow_value: i64,
@@ -65,6 +68,8 @@ impl MaxFlowRouting {
         MaxFlowRouting {
             hops,
             budget: vec![0; n],
+            budget_stamp: vec![0; n],
+            stamp: 0,
             flow_value,
         }
     }
@@ -86,12 +91,17 @@ impl RoutingProtocol for MaxFlowRouting {
     }
 
     fn plan(&mut self, view: &NetView<'_>, out: &mut Vec<Transmission>) {
-        self.budget.copy_from_slice(view.true_queues);
+        self.stamp += 1;
         for hop in &self.hops {
             if !view.is_active(hop.edge) {
                 continue;
             }
-            let b = &mut self.budget[hop.from.index()];
+            let i = hop.from.index();
+            if self.budget_stamp[i] != self.stamp {
+                self.budget_stamp[i] = self.stamp;
+                self.budget[i] = view.queue_of(hop.from);
+            }
+            let b = &mut self.budget[i];
             if *b > 0 {
                 *b -= 1;
                 out.push(Transmission {

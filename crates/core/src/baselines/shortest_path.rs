@@ -16,7 +16,6 @@ use simqueue::{NetView, RoutingProtocol, Transmission};
 #[derive(Debug)]
 pub struct ShortestPathRouting {
     dist: Vec<u32>,
-    budget: Vec<u64>,
 }
 
 impl ShortestPathRouting {
@@ -24,10 +23,7 @@ impl ShortestPathRouting {
     pub fn new(spec: &TrafficSpec) -> Self {
         let sinks: Vec<_> = spec.sinks().collect();
         let dist = ops::bfs_distances_to_set(&spec.graph, &sinks);
-        ShortestPathRouting {
-            dist,
-            budget: vec![0; spec.node_count()],
-        }
+        ShortestPathRouting { dist }
     }
 
     /// The precomputed distance field (hops to nearest sink).
@@ -42,21 +38,24 @@ impl RoutingProtocol for ShortestPathRouting {
     }
 
     fn plan(&mut self, view: &NetView<'_>, out: &mut Vec<Transmission>) {
-        self.budget.copy_from_slice(view.true_queues);
-        for u in view.graph.nodes() {
-            if self.budget[u.index()] == 0 || self.dist[u.index()] == 0 {
+        // The budget is only consumed within a node's own link loop, so a
+        // local counter replaces the former O(n) per-step budget copy; the
+        // active view skips empty nodes wholesale.
+        for &u in view.active_nodes {
+            let mut budget = view.queue_of(u);
+            if budget == 0 || self.dist[u.index()] == 0 {
                 continue; // empty, or already at a sink
             }
             let du = self.dist[u.index()];
             for link in view.graph.incident_links(u) {
-                if self.budget[u.index()] == 0 {
+                if budget == 0 {
                     break;
                 }
                 if !view.is_active(link.edge) {
                     continue;
                 }
                 if self.dist[link.neighbor.index()] < du {
-                    self.budget[u.index()] -= 1;
+                    budget -= 1;
                     out.push(Transmission {
                         edge: link.edge,
                         from: u,

@@ -20,7 +20,7 @@ impl RoutingProtocol for Flood {
     }
 
     fn plan(&mut self, view: &NetView<'_>, out: &mut Vec<Transmission>) {
-        for u in view.graph.nodes() {
+        for &u in view.active_nodes {
             let mut budget = view.queue_of(u);
             if budget == 0 {
                 continue;
@@ -65,7 +65,10 @@ impl RoutingProtocol for RandomForward {
     }
 
     fn plan(&mut self, view: &NetView<'_>, out: &mut Vec<Transmission>) {
-        for u in view.graph.nodes() {
+        // Iterating the active view instead of all of V changes nothing in
+        // the output (empty nodes are skipped either way, before the RNG is
+        // touched) but keeps idle regions off the hot path.
+        for &u in view.active_nodes {
             let budget = view.queue_of(u);
             if budget == 0 {
                 continue;

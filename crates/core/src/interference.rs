@@ -115,12 +115,14 @@ mod tests {
         let declared: Vec<u64> = (0..9).map(|i| (9 - i) as u64).collect();
         let queues = declared.clone();
         let active = vec![true; g.edge_count()];
+        let nodes: Vec<mgraph::NodeId> = g.nodes().collect();
         let view = NetView {
             graph: &g,
             spec: &spec,
             declared: &declared,
             true_queues: &queues,
             active_edges: &active,
+            active_nodes: &nodes,
             t: 0,
         };
         let mut out = Vec::new();
@@ -143,12 +145,14 @@ mod tests {
         let declared = vec![10, 5, 0];
         let queues = vec![10, 5, 0];
         let active = vec![true; 2];
+        let nodes: Vec<mgraph::NodeId> = g.nodes().collect();
         let view = NetView {
             graph: &g,
             spec: &spec,
             declared: &declared,
             true_queues: &queues,
             active_edges: &active,
+            active_nodes: &nodes,
             t: 0,
         };
         let mut out = Vec::new();
@@ -171,12 +175,14 @@ mod tests {
         let declared = vec![5, 0];
         let queues = vec![0, 0];
         let active = vec![true; 1];
+        let nodes: Vec<mgraph::NodeId> = g.nodes().collect();
         let view = NetView {
             graph: &g,
             spec: &spec,
             declared: &declared,
             true_queues: &queues,
             active_edges: &active,
+            active_nodes: &nodes,
             t: 0,
         };
         let mut out = Vec::new();

@@ -82,7 +82,10 @@ pub struct Lgg {
     /// for fewer transmissions (ablation E14/benches).
     threshold: u64,
     rng: StdRng,
-    /// Reused candidate buffer: (declared height, link id, neighbor).
+    /// Seed the random tie-break RNG was created from, kept so
+    /// [`RoutingProtocol::reset`] can restore the exact stream.
+    seed: u64,
+    /// Reused candidate buffer: (declared height, raw link id).
     scratch: Vec<(u64, u32)>,
     /// Per-node rotation offsets for round-robin.
     rr: Vec<u32>,
@@ -100,6 +103,7 @@ impl Lgg {
             tie_break,
             threshold: 0,
             rng: StdRng::seed_from_u64(seed),
+            seed,
             scratch: Vec::new(),
             rr: Vec::new(),
         }
@@ -142,7 +146,9 @@ impl RoutingProtocol for Lgg {
         if self.rr.len() < g.node_count() {
             self.rr.resize(g.node_count(), 0);
         }
-        for u in g.nodes() {
+        // Only nodes in the active view can have a nonzero budget, so the
+        // idle bulk of the network is never visited.
+        for &u in view.active_nodes {
             let budget = view.queue_of(u);
             if budget == 0 {
                 continue;
@@ -192,6 +198,9 @@ impl RoutingProtocol for Lgg {
 
     fn reset(&mut self) {
         self.rr.clear();
+        // Restore the tie-break RNG too: a reset run must replay the same
+        // random choices as a fresh protocol with this seed.
+        self.rng = StdRng::seed_from_u64(self.seed);
     }
 }
 
@@ -217,12 +226,14 @@ mod tests {
         protocol: &mut Lgg,
     ) -> Vec<Transmission> {
         let active = vec![true; spec.graph.edge_count()];
+        let nodes: Vec<NodeId> = spec.graph.nodes().collect();
         let view = NetView {
             graph: &spec.graph,
             spec,
             declared: &declared,
             true_queues: &queues,
             active_edges: &active,
+            active_nodes: &nodes,
             t: 0,
         };
         let mut out = Vec::new();
@@ -300,12 +311,14 @@ mod tests {
         let declared = vec![9, 0, 0, 0];
         let queues = vec![9, 0, 0, 0];
         let active = vec![false, true, false];
+        let nodes: Vec<NodeId> = spec.graph.nodes().collect();
         let view = NetView {
             graph: &spec.graph,
             spec: &spec,
             declared: &declared,
             true_queues: &queues,
             active_edges: &active,
+            active_nodes: &nodes,
             t: 0,
         };
         let mut out = Vec::new();
@@ -363,5 +376,27 @@ mod tests {
         assert_eq!(names.len(), TieBreak::ALL.len());
     }
 
+    #[test]
+    fn reset_restores_rng_and_round_robin() {
+        let spec = star_spec();
+        // Random tie-break: consuming the stream then resetting must replay
+        // the exact same shuffle sequence.
+        let mut p = Lgg::with_tie_break(TieBreak::Random, 42);
+        let fresh: Vec<_> = (0..8)
+            .map(|_| plan_with(&spec, vec![9, 1, 1, 1], vec![1, 1, 1, 1], &mut p))
+            .collect();
+        p.reset();
+        let replay: Vec<_> = (0..8)
+            .map(|_| plan_with(&spec, vec![9, 1, 1, 1], vec![1, 1, 1, 1], &mut p))
+            .collect();
+        assert_eq!(fresh, replay);
 
+        // Round-robin offsets also restart.
+        let mut p = Lgg::with_tie_break(TieBreak::RoundRobin, 0);
+        let first = plan_with(&spec, vec![9, 0, 0, 0], vec![1, 0, 0, 0], &mut p);
+        let _ = plan_with(&spec, vec![9, 0, 0, 0], vec![1, 0, 0, 0], &mut p);
+        p.reset();
+        let again = plan_with(&spec, vec![9, 0, 0, 0], vec![1, 0, 0, 0], &mut p);
+        assert_eq!(first, again);
+    }
 }

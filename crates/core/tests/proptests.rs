@@ -31,12 +31,14 @@ fn plan(
     protocol: &mut dyn RoutingProtocol,
 ) -> Vec<Transmission> {
     let active = vec![true; spec.graph.edge_count()];
+    let nodes: Vec<mgraph::NodeId> = spec.graph.nodes().collect();
     let view = NetView {
         graph: &spec.graph,
         spec,
         declared: queues,
         true_queues: queues,
         active_edges: &active,
+        active_nodes: &nodes,
         t: 0,
     };
     let mut out = Vec::new();
@@ -226,6 +228,7 @@ fn lgg_respects_inactive_edges_under_all_policies() {
         .unwrap();
     let queues = vec![9, 0, 0, 0, 0];
     let active = vec![false, true, false, true];
+    let nodes: Vec<mgraph::NodeId> = g.nodes().collect();
     for tb in TieBreak::ALL {
         let view = NetView {
             graph: &g,
@@ -233,6 +236,7 @@ fn lgg_respects_inactive_edges_under_all_policies() {
             declared: &queues,
             true_queues: &queues,
             active_edges: &active,
+            active_nodes: &nodes,
             t: 0,
         };
         let mut out = Vec::new();

@@ -25,6 +25,16 @@ pub trait DeclarationPolicy {
     /// The raw declaration before legality clamping.
     fn declare(&mut self, spec: &TrafficSpec, v: NodeId, q: u64, t: u64, rng: &mut StdRng)
         -> u64;
+
+    /// True when [`DeclarationPolicy::declare`] is a pure function of
+    /// `(spec, v, q)` — it reads neither `t` nor the RNG nor any mutable
+    /// state. The engine's sparse mode then skips calling it for idle
+    /// nodes (`q = 0`), substituting a value precomputed once per run;
+    /// stateful or randomized policies keep the default `false` and get a
+    /// full per-node scan every step, preserving their RNG stream exactly.
+    fn is_stateless(&self) -> bool {
+        false
+    }
 }
 
 /// Always declare the true queue length (legal for any `R`).
@@ -46,6 +56,10 @@ impl DeclarationPolicy for TruthfulDeclaration {
     ) -> u64 {
         q
     }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
 }
 
 /// Generalized nodes under-declare as hard as possible: declare `0`
@@ -65,6 +79,10 @@ impl DeclarationPolicy for ZeroBelowRetention {
         } else {
             q
         }
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
     }
 }
 
@@ -86,6 +104,10 @@ impl DeclarationPolicy for FullRetention {
         } else {
             q
         }
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
     }
 }
 

@@ -53,7 +53,7 @@ pub mod protocol;
 
 pub use ages::LatencyStats;
 pub use declare::{DeclarationPolicy, TruthfulDeclaration};
-pub use engine::{ExtractionPolicy, MaxExtraction, LazyExtraction, Simulation, SimulationBuilder};
+pub use engine::{EngineMode, ExtractionPolicy, MaxExtraction, LazyExtraction, Simulation, SimulationBuilder};
 pub use metrics::{HistoryMode, Metrics, Snapshot};
 pub use protocol::{NetView, RoutingProtocol, Transmission};
 pub use rng::split_seed;

@@ -34,6 +34,14 @@ pub struct NetView<'a> {
     pub true_queues: &'a [u64],
     /// Which links are usable this step (dynamic topologies).
     pub active_edges: &'a [bool],
+    /// Nodes that can possibly send this step: a sorted, duplicate-free
+    /// list guaranteed to contain every node with a nonzero true queue
+    /// (nodes with empty queues may also appear — e.g. the engine's dense
+    /// reference mode lists all of `V`). Protocols whose transmissions are
+    /// budgeted by the true queue can iterate this instead of
+    /// `graph.nodes()` to skip idle regions; the plans produced must be
+    /// identical either way, since a node with `q = 0` has no budget.
+    pub active_nodes: &'a [NodeId],
     /// The current time step.
     pub t: u64,
 }
@@ -108,12 +116,14 @@ mod tests {
         let declared = vec![5, 0, 0];
         let queues = vec![5, 0, 0];
         let active = vec![true; 2];
+        let nodes: Vec<NodeId> = g.nodes().collect();
         let view = NetView {
             graph: &g,
             spec: &spec,
             declared: &declared,
             true_queues: &queues,
             active_edges: &active,
+            active_nodes: &nodes,
             t: 0,
         };
         let mut out = Vec::new();

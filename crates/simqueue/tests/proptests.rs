@@ -189,3 +189,106 @@ proptest! {
         prop_assert_eq!(m.injected + total0, stored + m.delivered + m.lost);
     }
 }
+
+/// Active-set engine invariants (PR 1): the incremental `P_t`/`total`
+/// accumulators must track the from-scratch definition exactly, and the
+/// sparse engine must be observationally identical to the dense reference.
+mod active_set_engine {
+    use super::*;
+    use simqueue::loss::NoLoss;
+    use simqueue::{EngineMode, LazyExtraction, MaxExtraction, Simulation};
+
+    /// A busier random spec: several sources/sinks plus an R-generalized
+    /// node so declaration clamping is exercised.
+    fn busy_spec(seed: u64, n: usize) -> TrafficSpec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_random(n, n / 2, &mut rng);
+        TrafficSpecBuilder::new(g)
+            .retention(3)
+            .source(0, 2)
+            .source((n as u32) / 2, 1)
+            .generalized(1, 1, 1)
+            .sink((n - 1) as u32, 3)
+            .build()
+            .unwrap()
+    }
+
+    fn build(spec: TrafficSpec, mode: EngineMode, seed: u64, inj: usize, lossy: bool) -> Simulation {
+        let injection: Box<dyn simqueue::injection::InjectionProcess> = match inj {
+            0 => Box::new(simqueue::injection::ExactInjection),
+            1 => Box::new(ScaledInjection::new(1, 3)),
+            2 => Box::new(BernoulliInjection::new(0.6)),
+            _ => Box::new(UniformInjection { mean: 2 }),
+        };
+        let loss: Box<dyn simqueue::loss::LossModel> = if lossy {
+            Box::new(IidLoss::new(0.2))
+        } else {
+            Box::new(NoLoss)
+        };
+        let extraction: Box<dyn simqueue::ExtractionPolicy> = if seed % 2 == 0 {
+            Box::new(MaxExtraction)
+        } else {
+            Box::new(LazyExtraction)
+        };
+        SimulationBuilder::new(spec, Box::new(Greedy))
+            .engine_mode(mode)
+            .injection(injection)
+            .loss(loss)
+            .extraction(extraction)
+            .seed(seed)
+            .track_ages(true)
+            .history(HistoryMode::EveryStep)
+            .build()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every recorded snapshot comes from the incremental accumulators
+        /// in sparse mode; they must equal a from-scratch recompute of
+        /// Σ q² and Σ q after every single step.
+        #[test]
+        fn incremental_accumulators_match_recompute(
+            seed in 0u64..300,
+            n in 4usize..20,
+            steps in 20u64..150,
+            inj in 0usize..4,
+            lossy in any::<bool>(),
+        ) {
+            let mut sim = build(busy_spec(seed, n), EngineMode::SparseActive, seed, inj, lossy);
+            for _ in 0..steps {
+                sim.step();
+                let snap = *sim.metrics().history.last().unwrap();
+                // network_state()/total_packets() recompute from the queue
+                // vector; the snapshot carries the running accumulators.
+                prop_assert_eq!(snap.pt, sim.network_state());
+                prop_assert_eq!(snap.total_packets, sim.total_packets());
+                prop_assert_eq!(
+                    snap.max_queue,
+                    sim.queues().iter().copied().max().unwrap_or(0)
+                );
+            }
+        }
+
+        /// The sparse active-set engine and the dense reference engine are
+        /// bit-for-bit interchangeable: same queues, same metrics (full
+        /// history included), same latency distributions.
+        #[test]
+        fn sparse_engine_matches_dense_reference(
+            seed in 0u64..300,
+            n in 4usize..20,
+            steps in 20u64..150,
+            inj in 0usize..4,
+            lossy in any::<bool>(),
+        ) {
+            let mut sparse = build(busy_spec(seed, n), EngineMode::SparseActive, seed, inj, lossy);
+            let mut dense = build(busy_spec(seed, n), EngineMode::DenseReference, seed, inj, lossy);
+            sparse.run(steps);
+            dense.run(steps);
+            prop_assert_eq!(sparse.queues(), dense.queues());
+            prop_assert_eq!(sparse.metrics(), dense.metrics());
+            prop_assert_eq!(sparse.latency_stats(), dense.latency_stats());
+            prop_assert_eq!(sparse.network_state(), dense.network_state());
+        }
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + tests, a criterion smoke pass so the benches
+# cannot bit-rot, and a quick engine-throughput run exercising the
+# `lgg-sim bench` path end-to-end (result is written to a temp file and
+# discarded; the checked-in BENCH_throughput.json is refreshed manually
+# with a full `lgg-sim bench` run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo bench -p lgg-bench -- --test
+cargo run --release -p lgg-cli -- bench --quick --out "$(mktemp)"
+
+echo "ci: OK"

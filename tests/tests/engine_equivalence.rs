@@ -1,0 +1,77 @@
+//! Integration: the sparse active-set engine and the dense reference
+//! engine are observationally identical on every checked-in scenario file.
+//!
+//! The scenario corpus spans the surface the unit tests reach piecewise:
+//! matching-LGG interference, Gilbert–Elliott and adversarial loss,
+//! R-generalized lying with lazy extraction, bursty injection, and
+//! topology dynamics. Running both engines over each file and demanding
+//! equality of queues, metrics (full sampled history included) and
+//! latency statistics is the end-to-end form of the bit-for-bit
+//! requirement.
+
+use lgg_cli::Scenario;
+use simqueue::{EngineMode, HistoryMode, Simulation};
+
+/// Steps per scenario: enough to cross warm-up transients, burst cycles
+/// and outage periods, small enough to keep the suite fast.
+const STEPS: u64 = 3_000;
+
+fn scenario_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../scenarios")
+}
+
+fn run(sc: &Scenario, mode: EngineMode) -> Simulation {
+    let mut sim = sc
+        .build_simulation_with(mode, HistoryMode::Sampled(64))
+        .expect("scenario builds");
+    sim.run(STEPS);
+    sim
+}
+
+#[test]
+fn sparse_and_dense_engines_agree_on_all_scenarios() {
+    let dir = scenario_dir();
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("scenarios/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sc = Scenario::from_json(&text)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        let sparse = run(&sc, EngineMode::SparseActive);
+        let dense = run(&sc, EngineMode::DenseReference);
+
+        assert_eq!(sparse.queues(), dense.queues(), "{name}: queues differ");
+        assert_eq!(sparse.metrics(), dense.metrics(), "{name}: metrics differ");
+        assert_eq!(
+            sparse.latency_stats(),
+            dense.latency_stats(),
+            "{name}: latency stats differ"
+        );
+        seen += 1;
+    }
+    assert!(seen >= 4, "scenario corpus shrank: only {seen} files");
+}
+
+#[test]
+fn default_engine_is_sparse_and_reports_active_set() {
+    let text = std::fs::read_to_string(scenario_dir().join("saturated_dumbbell.json")).unwrap();
+    let sc = Scenario::from_json(&text).unwrap();
+    let mut sim = sc.build_simulation().unwrap();
+    assert_eq!(sim.engine_mode(), EngineMode::SparseActive);
+    sim.run(100);
+    // The saturated dumbbell keeps a backlog at the bridge: the active
+    // set is non-empty but never exceeds |V|.
+    let n = sim.queues().len();
+    let active = sim.active_node_count();
+    assert!(active > 0 && active <= n, "active = {active} of {n}");
+    assert_eq!(
+        active,
+        sim.queues().iter().filter(|&&q| q > 0).count(),
+        "active set must be exactly {{v : q > 0}}"
+    );
+}

@@ -1,0 +1,99 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace only uses `par_iter().map(...).collect()` chains for
+//! embarrassingly parallel experiment sweeps; this vendored fallback runs
+//! them sequentially through ordinary iterators. Results are identical
+//! (the sweeps are pure per-item functions); only wall-clock parallelism
+//! is lost, which the offline build container cannot rely on anyway.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    //! Glob-import surface: `use rayon::prelude::*;`.
+
+    /// Sequential stand-in for rayon's `par_iter`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type returned by [`Self::par_iter`].
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+
+        /// Returns a (sequential) iterator over `&self`'s items.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// Sequential stand-in for rayon's `into_par_iter`.
+    pub trait IntoParallelIterator {
+        /// The iterator type returned by [`Self::into_par_iter`].
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+
+        /// Returns a (sequential) iterator consuming `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Iter = std::ops::Range<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn arrays_and_slices_work() {
+        let xs = [5u32, 6, 7];
+        let sum: u32 = xs.par_iter().copied().sum();
+        assert_eq!(sum, 18);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let squares: Vec<u64> = (0u64..5).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}

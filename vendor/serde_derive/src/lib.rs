@@ -1,0 +1,661 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` crate's Value-DOM traits
+//! (`Serialize::to_value` / `Deserialize::from_value`) for structs and
+//! enums. The container is parsed directly from the token stream — the
+//! container has no syn/quote available — which is workable because the
+//! workspace's derived types are simple: no generics, no lifetimes, and
+//! only the attribute subset `tag = "..."`, `rename_all = "kebab-case"`,
+//! `default`, `default = "path"`.
+//!
+//! Generated `from_value` code never names field types: it calls
+//! `::serde::Deserialize::from_value(...)` in a struct-literal position and
+//! lets inference pick the impl, so the parser only needs to *skip* types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Container {
+    name: String,
+    /// `#[serde(tag = "...")]` — internally tagged enum.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "kebab-case")]` on the container.
+    kebab: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    /// Tuple struct with this many fields (1 = newtype).
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    /// Name as written in Rust positions (keeps a `r#` prefix).
+    rust_name: String,
+    /// Serialized key (bare name, no `r#`).
+    name: String,
+    default: Def,
+}
+
+#[derive(Clone)]
+enum Def {
+    Required,
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    kind: VKind,
+}
+
+enum VKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Container {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let metas = parse_attrs(&toks, &mut i);
+    let mut tag = None;
+    let mut kebab = false;
+    let mut container_default = false;
+    for (key, val) in metas {
+        match key.as_str() {
+            "tag" => tag = val,
+            "rename_all" => {
+                let style = val.unwrap_or_default();
+                assert!(
+                    style == "kebab-case",
+                    "serde_derive stub: unsupported rename_all style `{style}`"
+                );
+                kebab = true;
+            }
+            "default" => container_default = true,
+            other => panic!("serde_derive stub: unsupported container attribute `{other}`"),
+        }
+    }
+
+    skip_visibility(&toks, &mut i);
+    let keyword = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is unsupported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let mut fields = parse_named_fields(g.stream());
+                if container_default {
+                    for f in &mut fields {
+                        if matches!(f.default, Def::Required) {
+                            f.default = Def::Std;
+                        }
+                    }
+                }
+                Kind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: expected struct or enum, found `{other}`"),
+    };
+
+    Container {
+        name,
+        tag,
+        kebab,
+        kind,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; returns the metas of `serde` ones.
+fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> Vec<(String, Option<String>)> {
+    let mut metas = Vec::new();
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = toks.get(*i + 1) else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    metas.extend(parse_serde_metas(args.stream()));
+                }
+            }
+        }
+        *i += 2;
+    }
+    metas
+}
+
+/// Parses `name`, `name = "lit"` pairs separated by commas.
+fn parse_serde_metas(stream: TokenStream) -> Vec<(String, Option<String>)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut metas = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("serde_derive stub: unexpected token in serde attribute: {other:?}"),
+        };
+        i += 1;
+        let mut val = None;
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match toks.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    val = Some(strip_quotes(&lit.to_string()));
+                    i += 1;
+                }
+                other => panic!("serde_derive stub: expected string literal, found {other:?}"),
+            }
+        }
+        metas.push((key, val));
+    }
+    metas
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `attr* vis? name: Type,` sequences from a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let metas = parse_attrs(&toks, &mut i);
+        let mut default = Def::Required;
+        for (key, val) in metas {
+            match (key.as_str(), val) {
+                ("default", None) => default = Def::Std,
+                ("default", Some(path)) => default = Def::Path(path),
+                (other, _) => {
+                    panic!("serde_derive stub: unsupported field attribute `{other}`")
+                }
+            }
+        }
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let rust_name = expect_ident(&toks, &mut i);
+        // Raw identifiers (`r#in`) serialize under their bare name but must
+        // keep the `r#` prefix in field-access/struct-literal positions.
+        let name = rust_name.strip_prefix("r#").unwrap_or(&rust_name).to_string();
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        fields.push(Field { rust_name, name, default });
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the `,` that terminates it (commas
+/// nested in `<...>` or groups don't count).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the comma-separated fields of a paren group (tuple struct body).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut last_was_comma = false;
+    for tok in &toks {
+        last_was_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _metas = parse_attrs(&toks, &mut i); // variant-level serde attrs unused
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VKind::Unit,
+        };
+        // Skip to the next variant (past a discriminant, if any).
+        while let Some(tok) = toks.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Shared codegen helpers
+// ---------------------------------------------------------------------------
+
+/// serde's PascalCase → kebab-case variant renaming.
+fn kebab_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_key(c: &Container, v: &Variant) -> String {
+    if c.kebab {
+        kebab_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+/// `("a", to_value(&expr_prefix a)), ...` entries for an object literal.
+fn ser_named_entries(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({a})),",
+                n = f.name,
+                a = access(&f.rust_name)
+            )
+        })
+        .collect()
+}
+
+/// Struct-literal body deserializing named fields from `__fields`.
+fn de_named_body(path: &str, ty: &str, fields: &[Field]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let fallback = match &f.default {
+                Def::Required => format!(
+                    "::serde::Deserialize::absent_field(\"{n}\", \"{ty}\")?",
+                    n = f.name
+                ),
+                Def::Std => "::std::default::Default::default()".to_string(),
+                Def::Path(p) => format!("{p}()"),
+            };
+            format!(
+                "{rn}: match ::serde::value_lookup(__fields, \"{n}\") {{ \
+                   ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?, \
+                   ::std::option::Option::None => {fallback}, \
+                 }},",
+                rn = f.rust_name,
+                n = f.name
+            )
+        })
+        .collect();
+    format!("{path} {{ {inits} }}")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Named(fields) => {
+            let entries = ser_named_entries(fields, |f| format!("&self.{f}"));
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| ser_variant_arm(c, v))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn ser_variant_arm(c: &Container, v: &Variant) -> String {
+    let name = &c.name;
+    let vn = &v.name;
+    let key = variant_key(c, v);
+    match (&c.tag, &v.kind) {
+        (None, VKind::Unit) => format!(
+            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{key}\")),"
+        ),
+        (None, VKind::Tuple(1)) => format!(
+            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![\
+               (::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value(__f0))]),"
+        ),
+        (None, VKind::Tuple(n)) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                   (::std::string::String::from(\"{key}\"), \
+                    ::serde::Value::Array(::std::vec![{items}]))]),",
+                binds = binds.join(", ")
+            )
+        }
+        (None, VKind::Struct(fields)) => {
+            let binds: Vec<&str> = fields.iter().map(|f| f.rust_name.as_str()).collect();
+            let entries = ser_named_entries(fields, |f| f.to_string());
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                   (::std::string::String::from(\"{key}\"), \
+                    ::serde::Value::Object(::std::vec![{entries}]))]),",
+                binds = binds.join(", ")
+            )
+        }
+        (Some(tag), VKind::Unit) => format!(
+            "{name}::{vn} => ::serde::Value::Object(::std::vec![\
+               (::std::string::String::from(\"{tag}\"), \
+                ::serde::Value::Str(::std::string::String::from(\"{key}\")))]),"
+        ),
+        (Some(tag), VKind::Struct(fields)) => {
+            let binds: Vec<&str> = fields.iter().map(|f| f.rust_name.as_str()).collect();
+            let entries = ser_named_entries(fields, |f| f.to_string());
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                   (::std::string::String::from(\"{tag}\"), \
+                    ::serde::Value::Str(::std::string::String::from(\"{key}\"))), \
+                   {entries}]),",
+                binds = binds.join(", ")
+            )
+        }
+        (Some(_), VKind::Tuple(_)) => panic!(
+            "serde_derive stub: internally tagged tuple variant `{name}::{vn}` is unsupported"
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Named(fields) => {
+            let init = de_named_body(name, name, fields);
+            format!(
+                "let __fields = __v.as_object().ok_or_else(|| \
+                   ::serde::DeError::expected(\"object\", \"{name}\"))?; \
+                 ::std::result::Result::Ok({init})"
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Array(__items) if __items.len() == {n} => \
+                     ::std::result::Result::Ok({name}({items})), \
+                   _ => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"array of length {n}\", \"{name}\")), \
+                 }}"
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => match &c.tag {
+            None => de_enum_external(c, variants),
+            Some(tag) => de_enum_internal(c, variants, tag),
+        },
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+fn de_enum_external(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{key}\" => ::std::result::Result::Ok({name}::{vn}),",
+                key = variant_key(c, v),
+                vn = v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VKind::Unit))
+        .map(|v| de_data_variant_arm(c, v))
+        .collect();
+    format!(
+        "match __v {{ \
+           ::serde::Value::Str(__s) => match __s.as_str() {{ \
+             {unit_arms} \
+             __other => ::std::result::Result::Err(\
+               ::serde::DeError::unknown_variant(__other, \"{name}\")), \
+           }}, \
+           ::serde::Value::Object(__fs) if __fs.len() == 1 => {{ \
+             let (__k, __val) = &__fs[0]; \
+             let _ = &__val; \
+             match __k.as_str() {{ \
+               {data_arms} \
+               __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")), \
+             }} \
+           }} \
+           _ => ::std::result::Result::Err(::serde::DeError::expected(\
+             \"string or single-key object\", \"{name}\")), \
+         }}"
+    )
+}
+
+/// One `"key" => ...` arm deserializing a data variant from `__val`.
+fn de_data_variant_arm(c: &Container, v: &Variant) -> String {
+    let name = &c.name;
+    let vn = &v.name;
+    let key = variant_key(c, v);
+    match &v.kind {
+        VKind::Unit => unreachable!(),
+        VKind::Tuple(1) => format!(
+            "\"{key}\" => ::std::result::Result::Ok(\
+               {name}::{vn}(::serde::Deserialize::from_value(__val)?)),"
+        ),
+        VKind::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "\"{key}\" => match __val {{ \
+                   ::serde::Value::Array(__items) if __items.len() == {n} => \
+                     ::std::result::Result::Ok({name}::{vn}({items})), \
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                     \"array of length {n}\", \"{name}::{vn}\")), \
+                 }},"
+            )
+        }
+        VKind::Struct(fields) => {
+            let init = de_named_body(&format!("{name}::{vn}"), name, fields);
+            format!(
+                "\"{key}\" => {{ \
+                   let __fields = __val.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", \"{name}::{vn}\"))?; \
+                   ::std::result::Result::Ok({init}) \
+                 }},"
+            )
+        }
+    }
+}
+
+fn de_enum_internal(c: &Container, variants: &[Variant], tag: &str) -> String {
+    let name = &c.name;
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let key = variant_key(c, v);
+            let vn = &v.name;
+            match &v.kind {
+                VKind::Unit => format!(
+                    "\"{key}\" => ::std::result::Result::Ok({name}::{vn}),"
+                ),
+                VKind::Struct(fields) => {
+                    let init = de_named_body(&format!("{name}::{vn}"), name, fields);
+                    format!("\"{key}\" => ::std::result::Result::Ok({init}),")
+                }
+                VKind::Tuple(_) => panic!(
+                    "serde_derive stub: internally tagged tuple variant \
+                     `{name}::{vn}` is unsupported"
+                ),
+            }
+        })
+        .collect();
+    format!(
+        "let __fields = __v.as_object().ok_or_else(|| \
+           ::serde::DeError::expected(\"object\", \"{name}\"))?; \
+         let __tag = ::serde::value_lookup(__fields, \"{tag}\").ok_or_else(|| \
+           ::serde::DeError::missing_field(\"{tag}\", \"{name}\"))?; \
+         let __tag = __tag.as_str().ok_or_else(|| \
+           ::serde::DeError::expected(\"string tag\", \"{name}\"))?; \
+         match __tag {{ \
+           {arms} \
+           __other => ::std::result::Result::Err(\
+             ::serde::DeError::unknown_variant(__other, \"{name}\")), \
+         }}"
+    )
+}
