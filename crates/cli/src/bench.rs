@@ -1,7 +1,7 @@
 //! `lgg-sim bench`: a fixed throughput suite timing the sparse active-set
-//! engine ([`EngineMode::SparseActive`]) against the dense reference engine
-//! ([`EngineMode::DenseReference`]) and writing the numbers to
-//! `BENCH_throughput.json`.
+//! engine ([`EngineMode::SparseActive`]), the dense reference engine
+//! ([`EngineMode::DenseReference`]) and the density-adaptive
+//! [`EngineMode::Auto`], writing the numbers to `BENCH_throughput.json`.
 //!
 //! The suite is deliberately small and fixed so successive runs (and
 //! successive PRs) produce comparable files:
@@ -30,16 +30,21 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use simqueue::{EngineMode, HistoryMode};
 
+use crate::sweep::SweepReport;
 use crate::{Endpoint, ProtocolSpec, Scenario, ScenarioError, TopologySpec};
 
 /// Timed repetitions per (case, engine) pair; the fastest is reported.
-const REPS: usize = 3;
+/// Five repetitions (up from three) because the min-of-N filter has to
+/// beat scheduler noise on shared machines: the Auto engine's acceptance
+/// bar (within 5% of the better fixed engine) is tighter than the noise
+/// floor of a 3-rep minimum.
+const REPS: usize = 5;
 
 /// Throughput numbers for one engine on one case.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
 pub struct EngineThroughput {
     /// Simulation steps per wall-clock second.
     pub steps_per_sec: f64,
@@ -48,8 +53,8 @@ pub struct EngineThroughput {
     pub ns_per_node_edge_step: f64,
 }
 
-/// One benchmark case: both engines on the same scenario.
-#[derive(Debug, Clone, Serialize)]
+/// One benchmark case: all three engines on the same scenario.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct BenchCase {
     /// Suite-stable case name.
     pub name: String,
@@ -63,21 +68,31 @@ pub struct BenchCase {
     pub sparse: EngineThroughput,
     /// Dense reference engine numbers (the seed engine's cost profile).
     pub dense: EngineThroughput,
+    /// Density-adaptive engine numbers (the CLI default).
+    pub auto: EngineThroughput,
     /// `sparse.steps_per_sec / dense.steps_per_sec`.
     pub speedup: f64,
+    /// `auto.steps_per_sec / max(sparse, dense).steps_per_sec` — the
+    /// adaptive engine's cost relative to the better fixed choice (the
+    /// acceptance bar is >= 0.95 on every case).
+    pub auto_vs_best: f64,
 }
 
 /// The whole suite, as serialized to `BENCH_throughput.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct BenchReport {
     /// Provenance marker for the file.
     pub generated_by: String,
     /// One entry per suite case, in suite order.
     pub cases: Vec<BenchCase>,
+    /// Parallel sweep wall-clock numbers (`lgg-sim sweep`); absent until
+    /// the first sweep run, preserved across `lgg-sim bench` rewrites.
+    #[serde(default)]
+    pub sweep: Option<SweepReport>,
 }
 
-/// Builds the three synthetic suite scenarios.
-fn synthetic_cases(quick: bool) -> Vec<(String, Scenario, u64)> {
+/// Builds the synthetic suite scenarios (shared with `lgg-sim sweep`).
+pub(crate) fn synthetic_cases(quick: bool) -> Vec<(String, Scenario, u64)> {
     let base = Scenario::from_json(
         r#"{"topology": {"kind": "path", "n": 2},
             "sources": [{"node": 0, "rate": 1}],
@@ -179,7 +194,9 @@ fn run_case(name: &str, sc: &Scenario, steps: u64) -> Result<BenchCase, Scenario
     };
     let sparse = per_mode(EngineMode::SparseActive)?;
     let dense = per_mode(EngineMode::DenseReference)?;
+    let auto = per_mode(EngineMode::Auto)?;
 
+    let best = sparse.steps_per_sec.max(dense.steps_per_sec);
     Ok(BenchCase {
         name: name.to_string(),
         nodes,
@@ -187,7 +204,9 @@ fn run_case(name: &str, sc: &Scenario, steps: u64) -> Result<BenchCase, Scenario
         steps,
         sparse,
         dense,
+        auto,
         speedup: round(sparse.steps_per_sec / dense.steps_per_sec, 2),
+        auto_vs_best: round(auto.steps_per_sec / best, 2),
     })
 }
 
@@ -197,7 +216,7 @@ fn run_case(name: &str, sc: &Scenario, steps: u64) -> Result<BenchCase, Scenario
 pub fn run_bench_suite(scenario_dir: &str, quick: bool) -> Result<BenchReport, ScenarioError> {
     let mut cases = Vec::new();
     for (name, sc, steps) in synthetic_cases(quick) {
-        eprintln!("bench: {name} ({steps} steps x{REPS} reps x2 engines)...");
+        eprintln!("bench: {name} ({steps} steps x{REPS} reps x3 engines)...");
         cases.push(run_case(&name, &sc, steps)?);
     }
     for &(name, file, steps) in SCENARIO_FILES {
@@ -210,12 +229,13 @@ pub fn run_bench_suite(scenario_dir: &str, quick: bool) -> Result<BenchReport, S
         })?;
         let sc = Scenario::from_json(&text)?;
         let steps = if quick { steps / 10 } else { steps };
-        eprintln!("bench: {name} ({steps} steps x{REPS} reps x2 engines)...");
+        eprintln!("bench: {name} ({steps} steps x{REPS} reps x3 engines)...");
         cases.push(run_case(name, &sc, steps)?);
     }
     Ok(BenchReport {
         generated_by: "lgg-sim bench (fixed suite; schema documented in DESIGN.md)".into(),
         cases,
+        sweep: None,
     })
 }
 
@@ -234,14 +254,43 @@ mod tests {
     }
 
     #[test]
-    fn quick_suite_produces_all_cases() {
+    fn quick_suite_produces_all_cases_and_round_trips() {
         let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
         let report = run_bench_suite(dir, true).unwrap();
         assert_eq!(report.cases.len(), 7);
         for c in &report.cases {
             assert!(c.sparse.steps_per_sec > 0.0, "{}", c.name);
             assert!(c.dense.steps_per_sec > 0.0, "{}", c.name);
+            assert!(c.auto.steps_per_sec > 0.0, "{}", c.name);
             assert!(c.speedup > 0.0, "{}", c.name);
+            // The derived ratios must be consistent with the raw
+            // steps/sec they were computed from (up to their 2-decimal
+            // rounding).
+            let speedup = c.sparse.steps_per_sec / c.dense.steps_per_sec;
+            assert!(
+                (c.speedup - speedup).abs() <= 0.005 + 1e-9,
+                "{}: speedup {} inconsistent with raw {}",
+                c.name,
+                c.speedup,
+                speedup
+            );
+            let best = c.sparse.steps_per_sec.max(c.dense.steps_per_sec);
+            let auto_vs_best = c.auto.steps_per_sec / best;
+            assert!(
+                (c.auto_vs_best - auto_vs_best).abs() <= 0.005 + 1e-9,
+                "{}: auto_vs_best {} inconsistent with raw {}",
+                c.name,
+                c.auto_vs_best,
+                auto_vs_best
+            );
         }
+
+        // The report must survive a JSON round trip unchanged — this is
+        // the schema contract `lgg-sim sweep` relies on when it edits the
+        // file in place.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(back.sweep.is_none());
     }
 }

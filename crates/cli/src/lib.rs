@@ -32,10 +32,14 @@
 mod bench;
 mod report;
 mod scenario;
+mod sweep;
 
 pub use bench::{run_bench_suite, BenchCase, BenchReport, EngineThroughput};
 pub use report::{run_scenario, RunReport};
+pub use sweep::{
+    run_sweep, sweep_digest, write_sweep_into_bench, SweepConfig, SweepItem, SweepReport,
+};
 pub use scenario::{
-    DeclarationSpec, DynamicsSpec, Endpoint, ExtractionSpec, GeneralizedNode, InjectionSpec,
-    LossSpec, ProtocolSpec, Scenario, ScenarioError, TopologySpec,
+    DeclarationSpec, DynamicsSpec, Endpoint, EngineSpec, ExtractionSpec, GeneralizedNode,
+    InjectionSpec, LossSpec, ProtocolSpec, Scenario, ScenarioError, TopologySpec,
 };

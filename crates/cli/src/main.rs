@@ -3,7 +3,10 @@
 use std::fs;
 use std::process::ExitCode;
 
-use lgg_cli::{run_bench_suite, run_scenario, Scenario};
+use lgg_cli::{
+    run_bench_suite, run_scenario, run_sweep, write_sweep_into_bench, BenchReport, Scenario,
+    SweepConfig,
+};
 
 const TEMPLATE: &str = r#"{
   "topology": {"kind": "dumbbell", "clique": 4, "bridge": 2},
@@ -26,6 +29,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         return run_bench(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("sweep") {
+        return run_sweep_cmd(&args[1..]);
     }
     let mut json_out = false;
     let mut path: Option<String> = None;
@@ -112,7 +118,14 @@ fn run_bench(args: &[String]) -> ExitCode {
         }
     }
     match run_bench_suite(&scenario_dir, quick) {
-        Ok(report) => {
+        Ok(mut report) => {
+            // Keep a previously recorded sweep section: the two commands
+            // own disjoint parts of the same file.
+            if let Ok(old) = fs::read_to_string(&out) {
+                if let Ok(prev) = serde_json::from_str::<BenchReport>(&old) {
+                    report.sweep = prev.sweep;
+                }
+            }
             let json = serde_json::to_string_pretty(&report).expect("serializable");
             if let Err(e) = fs::write(&out, format!("{json}\n")) {
                 eprintln!("cannot write {out}: {e}");
@@ -120,13 +133,80 @@ fn run_bench(args: &[String]) -> ExitCode {
             }
             for c in &report.cases {
                 println!(
-                    "{:<22} {:>7} nodes+edges  sparse {:>12.1} steps/s  dense {:>12.1} steps/s  x{:.2}",
+                    "{:<22} {:>7} nodes+edges  sparse {:>12.1} steps/s  dense {:>12.1} steps/s  x{:.2}  auto {:>12.1} steps/s ({:.2} of best)",
                     c.name,
                     c.nodes + c.edges,
                     c.sparse.steps_per_sec,
                     c.dense.steps_per_sec,
-                    c.speedup
+                    c.speedup,
+                    c.auto.steps_per_sec,
+                    c.auto_vs_best
                 );
+            }
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `lgg-sim sweep [--smoke] [--out FILE] [--scenarios DIR] [--threads N]`:
+/// run the scenario × seed × rate × engine grid serially and across the
+/// work-stealing pool, check bit-for-bit agreement, and record wall-clock
+/// numbers in the `sweep` section of the bench file.
+fn run_sweep_cmd(args: &[String]) -> ExitCode {
+    let mut cfg = SweepConfig::default();
+    let mut out = String::from("BENCH_throughput.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scenarios" => match it.next() {
+                Some(v) => cfg.scenario_dir = v.clone(),
+                None => {
+                    eprintln!("--scenarios needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown sweep flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run_sweep(&cfg) {
+        Ok(report) => {
+            println!(
+                "sweep: {} items  serial {:.3}s  parallel {:.3}s ({} threads)  \
+                 speedup x{:.2}  efficiency {:.2}  digest {}",
+                report.items,
+                report.serial_secs,
+                report.parallel_secs,
+                report.threads,
+                report.speedup,
+                report.per_core_efficiency,
+                report.digest
+            );
+            if let Err(e) = write_sweep_into_bench(&out, report) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
             }
             println!("wrote {out}");
             ExitCode::SUCCESS
@@ -144,7 +224,10 @@ fn print_help() {
          USAGE: lgg-sim SCENARIO.json [--json]\n\
          \u{20}      lgg-sim --template   # print a starter scenario\n\
          \u{20}      lgg-sim bench [--quick] [--out FILE] [--scenarios DIR]\n\
-         \u{20}                           # throughput suite -> BENCH_throughput.json\n\n\
+         \u{20}                           # throughput suite -> BENCH_throughput.json\n\
+         \u{20}      lgg-sim sweep [--smoke] [--out FILE] [--scenarios DIR] [--threads N]\n\
+         \u{20}                           # parallel parameter grid, serial-vs-parallel\n\
+         \u{20}                           # wall clock -> sweep section of the bench file\n\n\
          The scenario format covers topology, sources/sinks/R-generalized\n\
          nodes, protocol (lgg, matching-lgg, maxflow-routing, shortest-path,\n\
          flood, random-forward), arrival processes, loss models, topology\n\

@@ -397,6 +397,32 @@ impl ExtractionSpec {
     }
 }
 
+/// Engine selection (see [`simqueue::EngineMode`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Default)]
+#[serde(rename_all = "kebab-case")]
+pub enum EngineSpec {
+    /// Decide per run from the measured active-set density (the default:
+    /// sparse wins on quiescent networks, dense on saturated ones, and the
+    /// two regimes are bit-for-bit identical so switching is free).
+    #[default]
+    Auto,
+    /// Always use the active-set stepper.
+    SparseActive,
+    /// Always use the full-scan reference stepper.
+    DenseReference,
+}
+
+impl EngineSpec {
+    /// The corresponding engine mode.
+    pub fn mode(&self) -> simqueue::EngineMode {
+        match self {
+            EngineSpec::Auto => simqueue::EngineMode::Auto,
+            EngineSpec::SparseActive => simqueue::EngineMode::SparseActive,
+            EngineSpec::DenseReference => simqueue::EngineMode::DenseReference,
+        }
+    }
+}
+
 fn default_steps() -> u64 {
     10_000
 }
@@ -435,6 +461,9 @@ pub struct Scenario {
     /// Extraction policy (default max).
     #[serde(default)]
     pub extraction: ExtractionSpec,
+    /// Engine mode (default auto: density-adaptive sparse/dense).
+    #[serde(default)]
+    pub engine: EngineSpec,
     /// Steps to simulate.
     #[serde(default = "default_steps")]
     pub steps: u64,
@@ -478,10 +507,11 @@ impl Scenario {
         b.build().map_err(|e| ScenarioError::Invalid(e.to_string()))
     }
 
-    /// Builds the ready-to-run simulation.
+    /// Builds the ready-to-run simulation using the scenario's own engine
+    /// selection (default: [`EngineSpec::Auto`]).
     pub fn build_simulation(&self) -> Result<simqueue::Simulation, ScenarioError> {
         self.build_simulation_with(
-            simqueue::EngineMode::SparseActive,
+            self.engine.mode(),
             simqueue::HistoryMode::Sampled((self.steps / 1024).max(1)),
         )
     }
@@ -532,6 +562,7 @@ mod tests {
         assert_eq!(sc.loss, LossSpec::None);
         assert_eq!(sc.dynamics, DynamicsSpec::Static);
         assert_eq!(sc.declaration, DeclarationSpec::Truthful);
+        assert_eq!(sc.engine, EngineSpec::Auto);
         let spec = sc.traffic_spec().unwrap();
         assert_eq!(spec.arrival_rate(), 1);
         assert!(spec.is_classic());
@@ -555,6 +586,7 @@ mod tests {
             dynamics: DynamicsSpec::Rotating { k: 1 },
             declaration: DeclarationSpec::FullRetention,
             extraction: ExtractionSpec::Lazy,
+            engine: EngineSpec::DenseReference,
             steps: 500,
             seed: 7,
             track_ages: true,

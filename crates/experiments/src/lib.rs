@@ -54,6 +54,7 @@ pub mod e13_induction;
 pub mod e14_ablations;
 pub mod e15_scaling;
 pub mod figs;
+pub mod reporter;
 
 /// A rendered result table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

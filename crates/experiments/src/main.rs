@@ -1,14 +1,20 @@
 //! CLI driver: `experiments [ids... | all] [--quick] [--out DIR]`.
 //!
-//! Runs the selected experiments, prints their Markdown reports, and (with
-//! `--out`) writes one JSON + one Markdown file per experiment plus a
-//! combined `EXPERIMENTS.generated.md`.
+//! Runs the selected experiments — fanned across the work-stealing pool,
+//! one pool item per experiment — prints their Markdown reports in suite
+//! order via the buffered [`OrderedReporter`], and (with `--out`) writes
+//! one JSON + one Markdown file per experiment plus a combined
+//! `EXPERIMENTS.generated.md`. Every experiment derives its randomness
+//! from its own fixed seeds, so output is byte-identical at any
+//! `LGG_THREADS` setting.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use experiments::reporter::OrderedReporter;
 use experiments::{run_experiment, ExperimentReport, ALL_IDS};
+use rayon::prelude::*;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,19 +55,35 @@ fn main() -> ExitCode {
         }
     }
 
+    // Validate ids before spending any compute.
+    if let Some(bad) = ids.iter().find(|id| !ALL_IDS.contains(&id.as_str())) {
+        eprintln!("unknown experiment id: {bad} (known: {})", ALL_IDS.join(", "));
+        return ExitCode::FAILURE;
+    }
+
+    // Fan the experiments across the pool. Reports stream to stdout in
+    // suite order through the buffered reporter no matter which worker
+    // finishes first; the collected vector is ordered by construction.
+    let reporter = OrderedReporter::new(std::io::stdout());
+    let indexed: Vec<(usize, String)> = ids.iter().cloned().enumerate().collect();
+    let reports: Vec<(ExperimentReport, String)> = indexed
+        .par_iter()
+        .map(|(i, id)| {
+            let report = run_experiment(id, quick).expect("id validated above");
+            let md = report.markdown();
+            reporter.complete(*i, format!("{md}\n"));
+            (report, md)
+        })
+        .collect();
+    reporter.into_inner();
+
     let mut all_pass = true;
     let mut combined = String::from("# Generated experiment reports\n\n");
-    for id in &ids {
-        let Some(report) = run_experiment(id, quick) else {
-            eprintln!("unknown experiment id: {id} (known: {})", ALL_IDS.join(", "));
-            return ExitCode::FAILURE;
-        };
-        let md = report.markdown();
-        println!("{md}");
-        combined.push_str(&md);
+    for (report, md) in &reports {
+        combined.push_str(md);
         all_pass &= report.pass;
         if let Some(dir) = &out_dir {
-            write_report(dir, &report, &md);
+            write_report(dir, report, md);
         }
     }
 

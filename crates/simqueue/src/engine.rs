@@ -15,6 +15,13 @@
 //!   sparse mode must match it bit for bit, RNG streams included; the
 //!   equivalence tests below and the property suite enforce this) and as
 //!   the baseline the throughput harness compares against.
+//! * [`EngineMode::Auto`] — measures the active-set density every
+//!   [`AUTO_CHECK_INTERVAL`] steps and delegates to whichever strategy is
+//!   cheaper for the current regime (sparse bookkeeping is pure overhead
+//!   once most of `V` holds packets — LGG's saturated gradient regime).
+//!   Because the two strategies are bit-for-bit identical, switching
+//!   between them mid-run cannot change any observable outcome, so `Auto`
+//!   inherits the same determinism guarantee.
 
 use mgraph::NodeId;
 use netmodel::{TrafficIndex, TrafficSpec};
@@ -30,7 +37,7 @@ use crate::metrics::{HistoryMode, Metrics, Snapshot};
 use crate::protocol::{NetView, RoutingProtocol, Transmission};
 use crate::rng::{split_seed, streams};
 
-/// Which stepping strategy the engine uses. Both produce identical
+/// Which stepping strategy the engine uses. All modes produce identical
 /// trajectories and metrics for the same seed; they differ only in cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineMode {
@@ -40,7 +47,34 @@ pub enum EngineMode {
     /// Full-scan stepping: O(n + m) per step. The semantic reference and
     /// throughput baseline.
     DenseReference,
+    /// Adaptive: re-measures the active-set density every
+    /// [`AUTO_CHECK_INTERVAL`] steps and runs the sparse strategy below
+    /// [`AUTO_SPARSE_BELOW`], the dense strategy above
+    /// [`AUTO_DENSE_ABOVE`] (hysteresis in between). The scenario runner
+    /// (`lgg-sim`) defaults to this mode.
+    Auto,
 }
+
+/// Steps between density checks in [`EngineMode::Auto`]. The check is an
+/// O(1) list-length read in the sparse regime and an O(n) queue scan in
+/// the dense regime, so the amortized overhead is ≤ one node-read per
+/// step either way.
+pub const AUTO_CHECK_INTERVAL: u64 = 64;
+
+/// [`EngineMode::Auto`] switches to dense stepping when at least this
+/// fraction of nodes hold packets. Calibrated against the
+/// `BENCH_throughput.json` suite: the dense engine's full-scan advantage
+/// (no active-set maintenance) only materializes once roughly half of `V`
+/// is active — `lgg-gradient-16x16` and `random-512-dense` sit near
+/// density 1 and run 1.1–1.3× faster dense, while the steady grids sit
+/// below density 0.05 and run 2–7× faster sparse.
+pub const AUTO_DENSE_ABOVE: f64 = 0.5;
+
+/// [`EngineMode::Auto`] switches back to sparse stepping when the active
+/// fraction falls below this value. Strictly less than
+/// [`AUTO_DENSE_ABOVE`] so a density hovering at the boundary cannot
+/// oscillate (each dense→sparse switch pays an O(n + m) state rebuild).
+pub const AUTO_SPARSE_BELOW: f64 = 0.375;
 
 /// Decides how many packets an extractor removes at the end of a step.
 ///
@@ -358,6 +392,10 @@ impl SimulationBuilder {
         } else {
             vec![0; n]
         };
+        // Auto picks its starting regime from the initial density (warm
+        // starts can begin saturated).
+        let auto_dense = self.mode == EngineMode::Auto
+            && active.len() as f64 / n.max(1) as f64 >= AUTO_DENSE_ABOVE;
         Simulation {
             ages,
             queues,
@@ -382,6 +420,7 @@ impl SimulationBuilder {
             budget_stamp: vec![0; n],
             all_nodes: self.spec.graph.nodes().collect(),
             traffic,
+            auto_dense,
             mode: self.mode,
             t: 0,
             metrics: {
@@ -411,6 +450,9 @@ pub struct Simulation {
     /// Precomputed source/sink/special-node lists (ascending node order).
     traffic: TrafficIndex,
     mode: EngineMode,
+    /// [`EngineMode::Auto`]'s current regime: `true` while delegating to
+    /// the dense strategy. Unused in the fixed modes.
+    auto_dense: bool,
     protocol: Box<dyn RoutingProtocol>,
     injection: Box<dyn InjectionProcess>,
     loss: Box<dyn LossModel>,
@@ -501,9 +543,20 @@ impl Simulation {
 
     /// Number of nodes currently holding packets.
     pub fn active_node_count(&self) -> usize {
-        match self.mode {
+        match self.effective_mode() {
             EngineMode::SparseActive => self.active.len(),
-            EngineMode::DenseReference => self.queues.iter().filter(|&&q| q > 0).count(),
+            _ => self.queues.iter().filter(|&&q| q > 0).count(),
+        }
+    }
+
+    /// The stepping strategy the next [`Simulation::step`] will execute:
+    /// resolves [`EngineMode::Auto`] to its current regime, and is the
+    /// identity for the fixed modes.
+    pub fn effective_mode(&self) -> EngineMode {
+        match self.mode {
+            EngineMode::Auto if self.auto_dense => EngineMode::DenseReference,
+            EngineMode::Auto => EngineMode::SparseActive,
+            fixed => fixed,
         }
     }
 
@@ -532,6 +585,72 @@ impl Simulation {
         match self.mode {
             EngineMode::SparseActive => self.step_sparse(),
             EngineMode::DenseReference => self.step_dense(),
+            EngineMode::Auto => self.step_auto(),
+        }
+    }
+
+    /// Adaptive stepping: periodically re-measures the active-set density
+    /// and delegates to the cheaper strategy. Correctness is free — both
+    /// strategies are bit-for-bit identical — so only the switch points
+    /// need care: the sparse invariants (active list, accumulators,
+    /// dirty-declaration list, zeroed arrivals) go stale across dense
+    /// steps and are rebuilt on re-entry.
+    fn step_auto(&mut self) {
+        if self.t % AUTO_CHECK_INTERVAL == 0 {
+            let n = self.spec.node_count().max(1);
+            let active = if self.auto_dense {
+                self.queues.iter().filter(|&&q| q > 0).count()
+            } else {
+                // Sparse invariant: `active` is exactly {v : q > 0} at the
+                // start of a step.
+                self.active.len()
+            };
+            let density = active as f64 / n as f64;
+            if self.auto_dense {
+                if density < AUTO_SPARSE_BELOW {
+                    self.auto_dense = false;
+                    self.rebuild_sparse_state();
+                }
+            } else if density >= AUTO_DENSE_ABOVE {
+                self.auto_dense = true;
+            }
+        }
+        if self.auto_dense {
+            self.step_dense()
+        } else {
+            self.step_sparse()
+        }
+    }
+
+    /// Re-establishes every invariant the sparse stepper relies on after a
+    /// stretch of dense steps: the sorted active list, the incremental
+    /// `Σ q²` / `Σ q` accumulators, the zeroed arrivals scratch (the dense
+    /// stepper leaves the previous step's counts behind), and the
+    /// dirty-declaration list for stateless policies (dense full scans
+    /// overwrite `declared` at every node).
+    fn rebuild_sparse_state(&mut self) {
+        let queues = &self.queues;
+        self.active.clear();
+        self.active
+            .extend(self.spec.graph.nodes().filter(|v| queues[v.index()] > 0));
+        self.woken.clear();
+        self.arrivals.iter_mut().for_each(|a| *a = 0);
+        self.acc_total = self.queues.iter().sum();
+        self.acc_pt = self
+            .queues
+            .iter()
+            .map(|&q| (q as u128) * (q as u128))
+            .sum();
+        if self.stateless_declaration {
+            let declared = &self.declared;
+            let idle = &self.idle_declared;
+            self.declared_dirty.clear();
+            self.declared_dirty.extend(
+                self.spec
+                    .graph
+                    .nodes()
+                    .filter(|v| declared[v.index()] != idle[v.index()]),
+            );
         }
     }
 
@@ -1067,9 +1186,9 @@ mod tests {
         assert_ne!((q3, m3), (q1, m1), "different seeds should diverge");
     }
 
-    /// Runs one configuration under both engine modes and requires the
-    /// entire observable outcome — queue vector, full metrics including
-    /// every history snapshot, latency stats — to match exactly.
+    /// Runs one configuration under all three engine modes and requires
+    /// the entire observable outcome — queue vector, full metrics
+    /// including every history snapshot, latency stats — to match exactly.
     fn assert_modes_agree(build: impl Fn() -> SimulationBuilder, steps: u64) {
         let run = |mode: EngineMode| {
             let mut sim = build()
@@ -1082,9 +1201,13 @@ mod tests {
         };
         let sparse = run(EngineMode::SparseActive);
         let dense = run(EngineMode::DenseReference);
+        let auto = run(EngineMode::Auto);
         assert_eq!(sparse.0, dense.0, "queue vectors diverged");
         assert_eq!(sparse.1, dense.1, "metrics diverged");
         assert_eq!(sparse.2, dense.2, "latency stats diverged");
+        assert_eq!(auto.0, sparse.0, "auto queue vectors diverged");
+        assert_eq!(auto.1, sparse.1, "auto metrics diverged");
+        assert_eq!(auto.2, sparse.2, "auto latency stats diverged");
     }
 
     #[test]
@@ -1185,6 +1308,46 @@ mod tests {
             },
             150,
         );
+    }
+
+    #[test]
+    fn auto_switches_dense_to_sparse_as_network_drains() {
+        // Every node warm-started and extracting: Auto must begin in the
+        // dense regime (initial density 1.0), then fall back to sparse
+        // stepping at the first density check after the network drains.
+        let spec = TrafficSpecBuilder::new(generators::path(4))
+            .source(0, 1)
+            .sink(1, 1)
+            .sink(2, 1)
+            .sink(3, 1)
+            .build()
+            .unwrap();
+        let mut sim = SimulationBuilder::new(spec, Box::new(NullProtocol))
+            // p = 0 injection: the source exists but never fires, so the
+            // warm-start load is all there is. NullProtocol moves nothing,
+            // so the sinks drain to zero while the source keeps its 8 —
+            // density settles at 0.25, below AUTO_SPARSE_BELOW.
+            .injection(Box::new(BernoulliInjection::new(0.0)))
+            .engine_mode(EngineMode::Auto)
+            .initial_queues(vec![8, 8, 8, 8])
+            .build();
+        assert_eq!(sim.effective_mode(), EngineMode::DenseReference);
+        // Sinks drain by t = 8; the regime check only fires every
+        // AUTO_CHECK_INTERVAL steps, so the flip lands on the next one.
+        sim.run(AUTO_CHECK_INTERVAL);
+        assert_eq!(sim.effective_mode(), EngineMode::DenseReference);
+        sim.run(1);
+        assert_eq!(sim.effective_mode(), EngineMode::SparseActive);
+        assert_eq!(sim.active_node_count(), 1);
+        assert_eq!(sim.queues(), &[8, 0, 0, 0]);
+    }
+
+    #[test]
+    fn auto_starts_sparse_on_cold_networks() {
+        let sim = SimulationBuilder::new(path_spec(), Box::new(TestGreedy))
+            .engine_mode(EngineMode::Auto)
+            .build();
+        assert_eq!(sim.effective_mode(), EngineMode::SparseActive);
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod protocol;
 
 pub use ages::LatencyStats;
 pub use declare::{DeclarationPolicy, TruthfulDeclaration};
-pub use engine::{EngineMode, ExtractionPolicy, MaxExtraction, LazyExtraction, Simulation, SimulationBuilder};
+pub use engine::{
+    EngineMode, ExtractionPolicy, LazyExtraction, MaxExtraction, Simulation, SimulationBuilder,
+    AUTO_CHECK_INTERVAL, AUTO_DENSE_ABOVE, AUTO_SPARSE_BELOW,
+};
 pub use metrics::{HistoryMode, Metrics, Snapshot};
 pub use protocol::{NetView, RoutingProtocol, Transmission};
 pub use rng::split_seed;

@@ -1,15 +1,29 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 build + tests, a criterion smoke pass so the benches
-# cannot bit-rot, and a quick engine-throughput run exercising the
-# `lgg-sim bench` path end-to-end (result is written to a temp file and
-# discarded; the checked-in BENCH_throughput.json is refreshed manually
-# with a full `lgg-sim bench` run).
+# cannot bit-rot, a quick engine-throughput run exercising the
+# `lgg-sim bench` path end-to-end, the cross-thread-count determinism
+# suite under both pool configurations, and a `lgg-sim sweep --smoke`
+# whose internal serial-vs-parallel digest check fails on any divergence.
+# (Bench/sweep results go to temp files and are discarded; the checked-in
+# BENCH_throughput.json is refreshed manually with full runs.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# Determinism across thread counts: the same suite must pass with the
+# pool pinned to one worker and fanned across several. The test compares
+# 1-thread and 4-thread output internally; running it under both env
+# settings also exercises the LGG_THREADS resolution path end to end.
+LGG_THREADS=1 cargo test -q --test determinism
+LGG_THREADS=4 cargo test -q --test determinism
+
 cargo bench -p lgg-bench -- --test
 cargo run --release -p lgg-cli -- bench --quick --out "$(mktemp)"
+
+# Sweep smoke: runs the scenario x seed x rate x engine grid serially and
+# in parallel and exits nonzero if the two result digests differ.
+cargo run --release -p lgg-cli -- sweep --smoke --out "$(mktemp)"
 
 echo "ci: OK"

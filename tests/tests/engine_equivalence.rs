@@ -44,6 +44,7 @@ fn sparse_and_dense_engines_agree_on_all_scenarios() {
 
         let sparse = run(&sc, EngineMode::SparseActive);
         let dense = run(&sc, EngineMode::DenseReference);
+        let auto = run(&sc, EngineMode::Auto);
 
         assert_eq!(sparse.queues(), dense.queues(), "{name}: queues differ");
         assert_eq!(sparse.metrics(), dense.metrics(), "{name}: metrics differ");
@@ -52,17 +53,27 @@ fn sparse_and_dense_engines_agree_on_all_scenarios() {
             dense.latency_stats(),
             "{name}: latency stats differ"
         );
+        assert_eq!(auto.queues(), sparse.queues(), "{name}: auto queues differ");
+        assert_eq!(auto.metrics(), sparse.metrics(), "{name}: auto metrics differ");
+        assert_eq!(
+            auto.latency_stats(),
+            sparse.latency_stats(),
+            "{name}: auto latency stats differ"
+        );
         seen += 1;
     }
     assert!(seen >= 4, "scenario corpus shrank: only {seen} files");
 }
 
 #[test]
-fn default_engine_is_sparse_and_reports_active_set() {
+fn default_engine_is_auto_and_reports_active_set() {
     let text = std::fs::read_to_string(scenario_dir().join("saturated_dumbbell.json")).unwrap();
     let sc = Scenario::from_json(&text).unwrap();
     let mut sim = sc.build_simulation().unwrap();
-    assert_eq!(sim.engine_mode(), EngineMode::SparseActive);
+    // Scenarios without an explicit "engine" field get the adaptive mode;
+    // cold networks start in the sparse regime.
+    assert_eq!(sim.engine_mode(), EngineMode::Auto);
+    assert_eq!(sim.effective_mode(), EngineMode::SparseActive);
     sim.run(100);
     // The saturated dumbbell keeps a backlog at the bridge: the active
     // set is non-empty but never exceeds |V|.

@@ -1,77 +1,210 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by the in-tree [`parpool`]
+//! work-stealing scheduler.
 //!
-//! The workspace only uses `par_iter().map(...).collect()` chains for
-//! embarrassingly parallel experiment sweeps; this vendored fallback runs
-//! them sequentially through ordinary iterators. Results are identical
-//! (the sweeps are pure per-item functions); only wall-clock parallelism
-//! is lost, which the offline build container cannot rely on anyway.
+//! The workspace uses `par_iter().map(...).collect()` chains (plus
+//! `flat_map`, `copied` and `sum`) for embarrassingly parallel experiment
+//! sweeps. This shim keeps that rayon-shaped surface but executes each
+//! combinator through [`parpool::run_ordered`]: items fan out across a
+//! scoped pool of work-stealing `std::thread` workers and the results come
+//! back **in input order**, so output is bit-for-bit identical at every
+//! thread count (`LGG_THREADS=1` equals N threads byte-for-byte).
+//!
+//! Differences from upstream rayon, on purpose:
+//!
+//! * Combinators are **eager**: each `map`/`flat_map`/`filter` is one
+//!   parallel pass over a materialized item vector. The workspace's chains
+//!   are all single-stage (`par_iter().map(..).collect()`), so laziness
+//!   would buy nothing, and eagerness keeps the executor a ~40-line
+//!   ordered fan-out instead of a plan interpreter.
+//! * Nested parallel chains (e.g. a `par_iter` inside a `flat_map`
+//!   closure) run inline on the worker that encounters them — the outer
+//!   sweep already saturates the pool (see `parpool::is_worker`).
 
 #![forbid(unsafe_code)]
 
 pub mod prelude {
     //! Glob-import surface: `use rayon::prelude::*;`.
 
-    /// Sequential stand-in for rayon's `par_iter`.
+    /// An eagerly evaluated parallel pipeline: a materialized, ordered
+    /// item vector whose combinators each run one deterministic parallel
+    /// pass through the `parpool` scheduler.
+    #[derive(Debug, Clone)]
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Wraps already-materialized items.
+        pub fn from_vec(items: Vec<T>) -> Self {
+            ParIter { items }
+        }
+
+        /// Parallel ordered map: `out[i] = f(items[i])`.
+        pub fn map<R, F>(self, f: F) -> ParIter<R>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParIter {
+                items: parpool::run_ordered(self.items, f),
+            }
+        }
+
+        /// Parallel ordered flat-map: each item's output sequence is
+        /// flattened in input order.
+        pub fn flat_map<I, F>(self, f: F) -> ParIter<I::Item>
+        where
+            I: IntoIterator,
+            I::Item: Send,
+            F: Fn(T) -> I + Sync,
+        {
+            let nested = parpool::run_ordered(self.items, |x| {
+                f(x).into_iter().collect::<Vec<_>>()
+            });
+            ParIter {
+                items: nested.into_iter().flatten().collect(),
+            }
+        }
+
+        /// Parallel ordered filter.
+        pub fn filter<F>(self, pred: F) -> ParIter<T>
+        where
+            F: Fn(&T) -> bool + Sync,
+        {
+            let kept = parpool::run_ordered(self.items, |x| {
+                if pred(&x) {
+                    Some(x)
+                } else {
+                    None
+                }
+            });
+            ParIter {
+                items: kept.into_iter().flatten().collect(),
+            }
+        }
+
+        /// Collects the (already ordered) results.
+        pub fn collect<C: FromIterator<T>>(self) -> C {
+            self.items.into_iter().collect()
+        }
+
+        /// Sums the items (order-stable: reduction happens sequentially
+        /// over the ordered results).
+        pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+            self.items.into_iter().sum()
+        }
+
+        /// Item count.
+        pub fn count(self) -> usize {
+            self.items.len()
+        }
+
+        /// Runs `f` on every item (parallel; completion order is
+        /// unspecified, as in rayon — use `map().collect()` when order
+        /// matters).
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            parpool::run_ordered(self.items, f);
+        }
+    }
+
+    impl<'data, T: Sync> ParIter<&'data T> {
+        /// Copies out of references, like `Iterator::copied`.
+        pub fn copied(self) -> ParIter<T>
+        where
+            T: Copy + Send,
+        {
+            ParIter {
+                items: self.items.into_iter().copied().collect(),
+            }
+        }
+
+        /// Clones out of references, like `Iterator::cloned`.
+        pub fn cloned(self) -> ParIter<T>
+        where
+            T: Clone + Send,
+        {
+            ParIter {
+                items: self.items.into_iter().cloned().collect(),
+            }
+        }
+    }
+
+    impl<T> IntoIterator for ParIter<T> {
+        type Item = T;
+        type IntoIter = std::vec::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.items.into_iter()
+        }
+    }
+
+    /// `par_iter()` over `&self`'s items (rayon's borrowing entry point).
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type returned by [`Self::par_iter`].
-        type Iter: Iterator<Item = Self::Item>;
-        /// Item type.
-        type Item;
+        /// Item type (a reference into `self`).
+        type Item: Send;
 
-        /// Returns a (sequential) iterator over `&self`'s items.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Returns the ordered parallel pipeline over `&self`'s items.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
         type Item = &'data T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
         type Item = &'data T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 
-    /// Sequential stand-in for rayon's `into_par_iter`.
+    /// `into_par_iter()` consuming the collection (rayon's owning entry
+    /// point).
     pub trait IntoParallelIterator {
-        /// The iterator type returned by [`Self::into_par_iter`].
-        type Iter: Iterator<Item = Self::Item>;
         /// Item type.
-        type Item;
+        type Item: Send;
 
-        /// Returns a (sequential) iterator consuming `self`.
-        fn into_par_iter(self) -> Self::Iter;
+        /// Returns the ordered parallel pipeline consuming `self`.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
+    impl<T: Send> IntoParallelIterator for Vec<T> {
         type Item = T;
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
         }
     }
 
-    impl<T> IntoParallelIterator for std::ops::Range<T>
+    impl<T: Send> IntoParallelIterator for std::ops::Range<T>
     where
         std::ops::Range<T>: Iterator<Item = T>,
     {
-        type Iter = std::ops::Range<T>;
         type Item = T;
 
-        fn into_par_iter(self) -> Self::Iter {
-            self
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter {
+                items: self.collect(),
+            }
         }
     }
 }
+
+/// Re-export of the scheduler's thread-count resolver, so binaries can
+/// report how wide their sweeps will fan out.
+pub use parpool::max_threads;
 
 #[cfg(test)]
 mod tests {
@@ -95,5 +228,41 @@ mod tests {
     fn into_par_iter_consumes() {
         let squares: Vec<u64> = (0u64..5).into_par_iter().map(|x| x * x).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn flat_map_flattens_in_order() {
+        let xs = vec![1u64, 2, 3];
+        let out: Vec<u64> = xs.par_iter().flat_map(|&x| vec![x * 10, x * 10 + 1]).collect();
+        assert_eq!(out, vec![10, 11, 20, 21, 30, 31]);
+    }
+
+    #[test]
+    fn nested_parallel_chains_stay_ordered() {
+        let outer = vec![100u64, 200];
+        let out: Vec<u64> = outer
+            .par_iter()
+            .flat_map(|&base| {
+                (0u64..3)
+                    .into_par_iter()
+                    .map(move |i| base + i)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(out, vec![100, 101, 102, 200, 201, 202]);
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let out: Vec<u64> = (0u64..10).into_par_iter().filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn cloned_and_count() {
+        let xs = vec!["a".to_string(), "b".to_string()];
+        let ys: Vec<String> = xs.par_iter().cloned().collect();
+        assert_eq!(ys, xs);
+        assert_eq!(xs.par_iter().count(), 2);
     }
 }
