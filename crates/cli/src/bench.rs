@@ -31,10 +31,12 @@
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use simqueue::{EngineMode, HistoryMode};
+use simqueue::{
+    EngineMode, HistoryMode, NoopObserver, RingRecorder, SimObserver, WindowAggregator,
+};
 
 use crate::sweep::SweepReport;
-use crate::{Endpoint, ProtocolSpec, Scenario, ScenarioError, TopologySpec};
+use crate::{Endpoint, ProtocolSpec, Scenario, ScenarioError, SimOverrides, TopologySpec};
 
 /// Timed repetitions per (case, engine) pair; the fastest is reported.
 /// Five repetitions (up from three) because the min-of-N filter has to
@@ -89,6 +91,38 @@ pub struct BenchReport {
     /// the first sweep run, preserved across `lgg-sim bench` rewrites.
     #[serde(default)]
     pub sweep: Option<SweepReport>,
+    /// Observer-overhead numbers (disabled vs live observers); absent in
+    /// files written before the telemetry subsystem existed.
+    #[serde(default)]
+    pub observer: Option<ObserverBench>,
+}
+
+/// Observer overhead on one case: the production disabled path against
+/// two live observers, same engine and step count for all three legs.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ObserverBench {
+    /// Suite case the overhead is measured on.
+    pub case: String,
+    /// Engine mode used for every leg (kebab-case).
+    pub engine: String,
+    /// Steps per timed repetition. Never scaled by `--quick`: the CI
+    /// regression gate compares these numbers against a recorded
+    /// baseline, and a 2% bar is meaningless on 1/10-length runs.
+    pub steps: u64,
+    /// The production path of a default run: `Scenario::build` with the
+    /// `telemetry` section off (dynamically dispatched disabled
+    /// observer). This is the leg the 2% regression gate watches.
+    pub off: EngineThroughput,
+    /// In-memory [`RingRecorder`], capacity 4096 — every event crosses
+    /// the observer boundary and most are retained.
+    pub ring: EngineThroughput,
+    /// [`WindowAggregator`] with window 256 — every event is folded into
+    /// running aggregates (the experiments-driver configuration).
+    pub window: EngineThroughput,
+    /// `ring.steps_per_sec / off.steps_per_sec`.
+    pub ring_vs_off: f64,
+    /// `window.steps_per_sec / off.steps_per_sec`.
+    pub window_vs_off: f64,
 }
 
 /// Builds the synthetic suite scenarios (shared with `lgg-sim sweep`).
@@ -154,14 +188,22 @@ const SCENARIO_FILES: &[(&str, &str, u64)] = &[
     ("bursty-rgen-gauntlet", "bursty_rgen_gauntlet.json", 20_000),
 ];
 
-fn time_engine(sc: &Scenario, mode: EngineMode, steps: u64) -> Result<f64, ScenarioError> {
+/// Times `steps` of a freshly built simulation: one untimed warm-up run,
+/// then min-of-[`REPS`] nanoseconds. The build closure executes outside
+/// the timed region, so observer construction cost never leaks into the
+/// per-step numbers.
+fn time_runs<O, F>(build: F, steps: u64) -> Result<f64, ScenarioError>
+where
+    O: SimObserver,
+    F: Fn() -> Result<simqueue::Simulation<O>, ScenarioError>,
+{
     // Warm-up: populate caches and fault pages outside the measurement.
-    let mut warm = sc.build_simulation_with(mode, HistoryMode::None)?;
+    let mut warm = build()?;
     warm.run(steps.min(1_000));
 
     let mut best_ns = f64::INFINITY;
     for _ in 0..REPS {
-        let mut sim = sc.build_simulation_with(mode, HistoryMode::None)?;
+        let mut sim = build()?;
         let t = Instant::now();
         sim.run(steps);
         let ns = t.elapsed().as_nanos() as f64;
@@ -172,6 +214,21 @@ fn time_engine(sc: &Scenario, mode: EngineMode, steps: u64) -> Result<f64, Scena
         }
     }
     Ok(best_ns)
+}
+
+/// Engine/history overrides shared by every timed leg of a case.
+/// `SimOverrides` owns a boxed observer slot, so it is rebuilt per call
+/// rather than cloned.
+fn bench_overrides(mode: EngineMode) -> SimOverrides {
+    SimOverrides {
+        engine: Some(mode),
+        history: Some(HistoryMode::None),
+        ..SimOverrides::default()
+    }
+}
+
+fn time_engine(sc: &Scenario, mode: EngineMode, steps: u64) -> Result<f64, ScenarioError> {
+    time_runs(|| sc.build_with_observer(bench_overrides(mode), NoopObserver), steps)
 }
 
 fn round(x: f64, decimals: i32) -> f64 {
@@ -210,9 +267,98 @@ fn run_case(name: &str, sc: &Scenario, steps: u64) -> Result<BenchCase, Scenario
     })
 }
 
+/// Measures observer overhead on the sparse `grid-16x16-steady` case.
+/// The disabled leg goes through the production [`Scenario::build`] path
+/// (a `Simulation<ScenarioObserver>` with `telemetry: off`), so the
+/// number reflects what every default `lgg-sim` run actually pays for
+/// having the telemetry subsystem compiled in — not an assumption about
+/// dead-code elimination.
+pub fn observer_bench() -> Result<ObserverBench, ScenarioError> {
+    let (name, sc, steps) = synthetic_cases(false)
+        .into_iter()
+        .next()
+        .expect("fixed suite is non-empty");
+    debug_assert_eq!(name, "grid-16x16-steady");
+
+    let spec = sc.traffic_spec()?;
+    let size = (spec.graph.node_count() + spec.graph.edge_count()) as f64;
+    let throughput = |ns: f64| EngineThroughput {
+        steps_per_sec: round(steps as f64 / (ns / 1e9), 1),
+        ns_per_node_edge_step: round(ns / (steps as f64 * size), 3),
+    };
+    let mode = EngineMode::SparseActive;
+
+    eprintln!("bench: observer overhead on {name} ({steps} steps x{REPS} reps x3 observers)...");
+    let off = throughput(time_runs(|| sc.build(bench_overrides(mode)), steps)?);
+    let ring = throughput(time_runs(
+        || sc.build_with_observer(bench_overrides(mode), RingRecorder::new(4096)),
+        steps,
+    )?);
+    let window = throughput(time_runs(
+        || sc.build_with_observer(bench_overrides(mode), WindowAggregator::new(256)),
+        steps,
+    )?);
+
+    Ok(ObserverBench {
+        case: name,
+        engine: "sparse-active".into(),
+        steps,
+        off,
+        ring,
+        window,
+        ring_vs_off: round(ring.steps_per_sec / off.steps_per_sec, 3),
+        window_vs_off: round(window.steps_per_sec / off.steps_per_sec, 3),
+    })
+}
+
+/// CI gate: errors when the disabled-observer throughput in `report`
+/// falls more than 2% below the recorded baseline. The reference is the
+/// baseline file's own `observer.off` leg when present, else its
+/// recorded sparse throughput for the same case — i.e. the pre-telemetry
+/// number the subsystem's overhead budget was set against.
+pub fn check_observer_baseline(
+    report: &BenchReport,
+    baseline: &BenchReport,
+) -> Result<(), ScenarioError> {
+    let current = report
+        .observer
+        .as_ref()
+        .ok_or_else(|| ScenarioError::Invalid("report has no observer bench section".into()))?;
+    let reference = baseline
+        .observer
+        .as_ref()
+        .map(|o| o.off.steps_per_sec)
+        .or_else(|| {
+            baseline
+                .cases
+                .iter()
+                .find(|c| c.name == current.case)
+                .map(|c| c.sparse.steps_per_sec)
+        })
+        .ok_or_else(|| {
+            ScenarioError::Invalid(format!(
+                "baseline has neither an observer section nor a '{}' case",
+                current.case
+            ))
+        })?;
+    if current.off.steps_per_sec < 0.98 * reference {
+        return Err(ScenarioError::Invalid(format!(
+            "disabled-observer throughput regressed: {} steps/s is more than 2% below \
+             the recorded baseline {} steps/s on {}",
+            current.off.steps_per_sec, reference, current.case
+        )));
+    }
+    eprintln!(
+        "bench: disabled-observer gate ok ({} steps/s vs baseline {} on {})",
+        current.off.steps_per_sec, reference, current.case
+    );
+    Ok(())
+}
+
 /// Runs the fixed suite. `scenario_dir` is where the `scenarios/` files
 /// live (normally `scenarios` relative to the repo root); `quick` divides
-/// the step counts by 10 for smoke runs.
+/// the step counts by 10 for smoke runs (except the observer-overhead
+/// section, which always runs full length).
 pub fn run_bench_suite(scenario_dir: &str, quick: bool) -> Result<BenchReport, ScenarioError> {
     let mut cases = Vec::new();
     for (name, sc, steps) in synthetic_cases(quick) {
@@ -232,10 +378,12 @@ pub fn run_bench_suite(scenario_dir: &str, quick: bool) -> Result<BenchReport, S
         eprintln!("bench: {name} ({steps} steps x{REPS} reps x3 engines)...");
         cases.push(run_case(name, &sc, steps)?);
     }
+    let observer = Some(observer_bench()?);
     Ok(BenchReport {
         generated_by: "lgg-sim bench (fixed suite; schema documented in DESIGN.md)".into(),
         cases,
         sweep: None,
+        observer,
     })
 }
 
@@ -247,7 +395,7 @@ mod tests {
     fn synthetic_cases_build_and_step() {
         for (name, sc, _) in synthetic_cases(true) {
             let mut sim = sc
-                .build_simulation_with(EngineMode::SparseActive, HistoryMode::None)
+                .build_with_observer(bench_overrides(EngineMode::SparseActive), NoopObserver)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
             sim.run(10);
         }
@@ -285,6 +433,17 @@ mod tests {
             );
         }
 
+        // Observer overhead is part of every suite run, at full length
+        // even under --quick.
+        let obs = report.observer.as_ref().expect("observer section");
+        assert_eq!(obs.case, "grid-16x16-steady");
+        assert_eq!(obs.steps, 50_000);
+        assert!(obs.off.steps_per_sec > 0.0);
+        assert!(obs.ring.steps_per_sec > 0.0);
+        assert!(obs.window.steps_per_sec > 0.0);
+        let ring_vs_off = obs.ring.steps_per_sec / obs.off.steps_per_sec;
+        assert!((obs.ring_vs_off - ring_vs_off).abs() <= 0.0005 + 1e-9);
+
         // The report must survive a JSON round trip unchanged — this is
         // the schema contract `lgg-sim sweep` relies on when it edits the
         // file in place.
@@ -292,5 +451,65 @@ mod tests {
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!(back.sweep.is_none());
+    }
+
+    fn fake_report(off_sps: f64, with_observer: bool, sparse_case: Option<f64>) -> BenchReport {
+        let tp = |sps: f64| EngineThroughput {
+            steps_per_sec: sps,
+            ns_per_node_edge_step: 1.0,
+        };
+        let observer = with_observer.then(|| ObserverBench {
+            case: "grid-16x16-steady".into(),
+            engine: "sparse-active".into(),
+            steps: 50_000,
+            off: tp(off_sps),
+            ring: tp(off_sps * 0.8),
+            window: tp(off_sps * 0.9),
+            ring_vs_off: 0.8,
+            window_vs_off: 0.9,
+        });
+        let cases = sparse_case
+            .map(|sps| {
+                vec![BenchCase {
+                    name: "grid-16x16-steady".into(),
+                    nodes: 256,
+                    edges: 480,
+                    steps: 50_000,
+                    sparse: tp(sps),
+                    dense: tp(sps / 2.0),
+                    auto: tp(sps),
+                    speedup: 2.0,
+                    auto_vs_best: 1.0,
+                }]
+            })
+            .unwrap_or_default();
+        BenchReport {
+            generated_by: "test".into(),
+            cases,
+            sweep: None,
+            observer,
+        }
+    }
+
+    #[test]
+    fn observer_baseline_gate_accepts_and_rejects() {
+        // Within 2% of the baseline's own off leg: ok (even slightly slower).
+        let baseline = fake_report(1000.0, true, Some(1100.0));
+        check_observer_baseline(&fake_report(985.0, true, None), &baseline).unwrap();
+        // More than 2% below: rejected.
+        let err = check_observer_baseline(&fake_report(975.0, true, None), &baseline)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("regressed"), "{err}");
+        // A pre-telemetry baseline (no observer section) falls back to the
+        // recorded sparse throughput of the same case.
+        let old = fake_report(0.0, false, Some(1000.0));
+        check_observer_baseline(&fake_report(985.0, true, None), &old).unwrap();
+        assert!(check_observer_baseline(&fake_report(900.0, true, None), &old).is_err());
+        // A baseline with neither is an error, as is a report without the
+        // observer section.
+        let empty = fake_report(0.0, false, None);
+        assert!(check_observer_baseline(&fake_report(985.0, true, None), &empty).is_err());
+        assert!(check_observer_baseline(&empty, &baseline).is_err());
     }
 }

@@ -33,13 +33,19 @@ mod bench;
 mod report;
 mod scenario;
 mod sweep;
+mod trace_cmd;
 
-pub use bench::{run_bench_suite, BenchCase, BenchReport, EngineThroughput};
+pub use bench::{
+    check_observer_baseline, observer_bench, run_bench_suite, BenchCase, BenchReport,
+    EngineThroughput, ObserverBench,
+};
 pub use report::{run_scenario, RunReport};
 pub use sweep::{
     run_sweep, sweep_digest, write_sweep_into_bench, SweepConfig, SweepItem, SweepReport,
 };
 pub use scenario::{
     DeclarationSpec, DynamicsSpec, Endpoint, EngineSpec, ExtractionSpec, GeneralizedNode,
-    InjectionSpec, LossSpec, ProtocolSpec, Scenario, ScenarioError, TopologySpec,
+    InjectionSpec, LossSpec, ObserverSpec, ProtocolSpec, Scenario, ScenarioError,
+    ScenarioObserver, SimOverrides, TopologySpec,
 };
+pub use trace_cmd::{capture_trace, fnv1a_digest, trace_smoke_scenario};

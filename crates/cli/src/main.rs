@@ -4,8 +4,8 @@ use std::fs;
 use std::process::ExitCode;
 
 use lgg_cli::{
-    run_bench_suite, run_scenario, run_sweep, write_sweep_into_bench, BenchReport, Scenario,
-    SweepConfig,
+    capture_trace, check_observer_baseline, fnv1a_digest, run_bench_suite, run_scenario,
+    run_sweep, trace_smoke_scenario, write_sweep_into_bench, BenchReport, Scenario, SweepConfig,
 };
 
 const TEMPLATE: &str = r#"{
@@ -32,6 +32,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("sweep") {
         return run_sweep_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return run_trace_cmd(&args[1..]);
     }
     let mut json_out = false;
     let mut path: Option<String> = None;
@@ -87,12 +90,15 @@ fn main() -> ExitCode {
     }
 }
 
-/// `lgg-sim bench [--quick] [--out FILE] [--scenarios DIR]`: run the fixed
-/// throughput suite and write `BENCH_throughput.json`.
+/// `lgg-sim bench [--quick] [--out FILE] [--scenarios DIR] [--baseline FILE]`:
+/// run the fixed throughput suite and write `BENCH_throughput.json`.
+/// With `--baseline`, additionally fail if the disabled-observer leg
+/// regressed more than 2% below the numbers recorded in FILE.
 fn run_bench(args: &[String]) -> ExitCode {
     let mut quick = false;
     let mut out = String::from("BENCH_throughput.json");
     let mut scenario_dir = String::from("scenarios");
+    let mut baseline: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -111,12 +117,39 @@ fn run_bench(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--baseline" => match it.next() {
+                Some(v) => baseline = Some(v.clone()),
+                None => {
+                    eprintln!("--baseline needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown bench flag {other}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    // Read the baseline before the suite overwrites the default --out
+    // (they are usually the same file).
+    let baseline = match baseline {
+        None => None,
+        Some(path) => {
+            let parsed = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))
+                .and_then(|text| {
+                    serde_json::from_str::<BenchReport>(&text)
+                        .map_err(|e| format!("baseline {path} does not parse: {e}"))
+                });
+            match parsed {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
     match run_bench_suite(&scenario_dir, quick) {
         Ok(mut report) => {
             // Keep a previously recorded sweep section: the two commands
@@ -143,12 +176,144 @@ fn run_bench(args: &[String]) -> ExitCode {
                     c.auto_vs_best
                 );
             }
+            if let Some(obs) = &report.observer {
+                println!(
+                    "observer overhead on {} ({}): off {:.1} steps/s  ring {:.1} ({:.3} of off)  window {:.1} ({:.3} of off)",
+                    obs.case,
+                    obs.engine,
+                    obs.off.steps_per_sec,
+                    obs.ring.steps_per_sec,
+                    obs.ring_vs_off,
+                    obs.window.steps_per_sec,
+                    obs.window_vs_off
+                );
+            }
             println!("wrote {out}");
+            if let Some(baseline) = &baseline {
+                if let Err(e) = check_observer_baseline(&report, baseline) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `lgg-sim trace [SCENARIO.json | --smoke] [--out FILE] [--steps N]
+/// [--sample-every N]`: stream the per-step event trace as JSON Lines to
+/// stdout (or FILE). `--smoke` runs the built-in 3×3 smoke scenario
+/// twice, verifies the captures are byte-identical, and prints the line
+/// count and FNV-1a digest instead of the trace.
+fn run_trace_cmd(args: &[String]) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut steps: Option<u64> = None;
+    let mut sample_every: u64 = 1;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--steps" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => steps = Some(n),
+                None => {
+                    eprintln!("--steps needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sample-every" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => sample_every = n,
+                _ => {
+                    eprintln!("--sample-every needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown trace flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let scenario = if smoke {
+        trace_smoke_scenario()
+    } else {
+        let Some(path) = path else {
+            eprintln!("trace needs a scenario file (or --smoke)");
+            return ExitCode::FAILURE;
+        };
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match Scenario::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let steps = steps.unwrap_or(scenario.steps);
+    let bytes = match capture_trace(&scenario, steps, sample_every) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if smoke {
+        // Self-checking: a second capture must be byte-identical — this
+        // is the determinism witness CI records.
+        match capture_trace(&scenario, steps, sample_every) {
+            Ok(again) if again == bytes => {}
+            Ok(_) => {
+                eprintln!("trace smoke FAILED: two captures differ; determinism is broken");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let lines = bytes.iter().filter(|&&b| b == b'\n').count();
+        println!("trace smoke ok: {steps} steps, {lines} events, digest {}", fnv1a_digest(&bytes));
+        if out.is_none() {
+            return ExitCode::SUCCESS;
+        }
+    }
+    match out {
+        Some(file) => {
+            if let Err(e) = fs::write(&file, &bytes) {
+                eprintln!("cannot write {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {file}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            use std::io::Write;
+            let mut stdout = std::io::stdout().lock();
+            if let Err(e) = stdout.write_all(&bytes) {
+                eprintln!("cannot write trace to stdout: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
         }
     }
 }
@@ -223,11 +388,14 @@ fn print_help() {
         "lgg-sim — run an LGG-routing scenario from a JSON file\n\n\
          USAGE: lgg-sim SCENARIO.json [--json]\n\
          \u{20}      lgg-sim --template   # print a starter scenario\n\
-         \u{20}      lgg-sim bench [--quick] [--out FILE] [--scenarios DIR]\n\
-         \u{20}                           # throughput suite -> BENCH_throughput.json\n\
+         \u{20}      lgg-sim bench [--quick] [--out FILE] [--scenarios DIR] [--baseline FILE]\n\
+         \u{20}                           # throughput suite -> BENCH_throughput.json;\n\
+         \u{20}                           # --baseline gates observer overhead at 2%\n\
          \u{20}      lgg-sim sweep [--smoke] [--out FILE] [--scenarios DIR] [--threads N]\n\
          \u{20}                           # parallel parameter grid, serial-vs-parallel\n\
-         \u{20}                           # wall clock -> sweep section of the bench file\n\n\
+         \u{20}                           # wall clock -> sweep section of the bench file\n\
+         \u{20}      lgg-sim trace [SCENARIO.json | --smoke] [--out FILE] [--steps N] [--sample-every N]\n\
+         \u{20}                           # per-step event trace as JSON Lines\n\n\
          The scenario format covers topology, sources/sinks/R-generalized\n\
          nodes, protocol (lgg, matching-lgg, maxflow-routing, shortest-path,\n\
          flood, random-forward), arrival processes, loss models, topology\n\

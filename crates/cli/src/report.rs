@@ -2,9 +2,9 @@
 
 use netmodel::{classify, NetworkClass};
 use serde::{Deserialize, Serialize};
-use simqueue::{assess_stability, LatencyStats, Metrics, StabilityReport};
+use simqueue::{assess_stability, LatencyStats, Metrics, StabilityReport, WindowStats};
 
-use crate::{Scenario, ScenarioError};
+use crate::{Scenario, ScenarioError, SimOverrides};
 
 /// The full machine-readable result of one scenario run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,6 +23,10 @@ pub struct RunReport {
     pub stability: StabilityReport,
     /// Latency distribution (when `track_ages` was set).
     pub latency: Option<LatencyStats>,
+    /// Windowed telemetry time-series (when the scenario's `telemetry`
+    /// section selects a window aggregator).
+    #[serde(default)]
+    pub telemetry: Option<Vec<WindowStats>>,
 }
 
 impl RunReport {
@@ -64,26 +68,42 @@ impl RunReport {
                 lat.max
             ));
         }
+        if let Some(windows) = &self.telemetry {
+            let peak = windows.iter().map(|w| w.pt_max).max().unwrap_or(0);
+            out.push_str(&format!(
+                "telemetry: {} windows, peak P_t {}\n",
+                windows.len(),
+                peak
+            ));
+        }
         out
     }
 }
 
-/// Materializes and runs `scenario`, returning the full report.
+/// Materializes and runs `scenario`, returning the full report. The
+/// scenario's `telemetry` section is honored: a window aggregator's
+/// time-series lands in [`RunReport::telemetry`], a JSONL sink is
+/// flushed to its file.
 pub fn run_scenario(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
     let spec = scenario.traffic_spec()?;
     let classification = classify(&spec);
-    let mut sim = scenario.build_simulation()?;
+    let mut sim = scenario.build(SimOverrides::default())?;
     sim.run(scenario.steps);
     let metrics = sim.metrics().clone();
     let stability = assess_stability(&metrics.history);
+    let latency = sim.latency_stats().cloned();
+    // into_observer() runs the observer's finish() — closing the JSONL
+    // file / the trailing partial window.
+    let telemetry = sim.into_observer().into_windows();
     Ok(RunReport {
         nodes: spec.node_count(),
         edges: spec.graph.edge_count(),
         max_degree: spec.max_degree(),
         classification,
-        latency: sim.latency_stats().cloned(),
+        latency,
         metrics,
         stability,
+        telemetry,
     })
 }
 
@@ -134,6 +154,30 @@ mod tests {
         assert_eq!(report.stability.verdict, StabilityVerdict::Diverging);
         assert!(!report.classification.feasibility.is_feasible());
         assert!(report.latency.is_none());
+    }
+
+    #[test]
+    fn telemetry_window_lands_in_report() {
+        let sc = scenario(
+            r#"{
+                "topology": {"kind": "path", "n": 3},
+                "sources": [{"node": 0, "rate": 1}],
+                "sinks": [{"node": 2, "rate": 1}],
+                "protocol": "lgg",
+                "telemetry": {"kind": "window", "size": 500},
+                "steps": 2000
+            }"#,
+        );
+        let report = run_scenario(&sc).unwrap();
+        let windows = report.telemetry.as_ref().expect("windowed telemetry");
+        assert_eq!(windows.len(), 4);
+        assert!(windows.iter().all(|w| w.samples == 500));
+        assert!(windows[0].injected > 0);
+        assert!(report.human().contains("telemetry: 4 windows"));
+        // Round-trips through JSON with the telemetry attached.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.telemetry.unwrap().len(), 4);
     }
 
     #[test]

@@ -20,8 +20,12 @@ use simqueue::injection::{
 };
 use simqueue::loss::{AdversarialLoss, GilbertElliottLoss, IidLoss, LossModel, NoLoss};
 use simqueue::{
-    ExtractionPolicy, LazyExtraction, MaxExtraction, RoutingProtocol, SimulationBuilder,
+    ExtractionPolicy, JsonlSink, LazyExtraction, MaxExtraction, RoutingProtocol, SimObserver,
+    SimulationBuilder, TraceEvent, WindowAggregator, WindowStats,
 };
+
+use std::fs::File;
+use std::io::BufWriter;
 
 /// Errors raised while materializing a scenario.
 #[derive(Debug)]
@@ -423,6 +427,133 @@ impl EngineSpec {
     }
 }
 
+/// Telemetry selection for the scenario's `telemetry` section: which
+/// [`SimObserver`] the unified [`Scenario::build`] installs.
+///
+/// `#[non_exhaustive]`: future observer kinds (e.g. a binary trace
+/// format) must not break downstream matches.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+#[non_exhaustive]
+pub enum ObserverSpec {
+    /// No telemetry (the default): the engine runs the allocation-free
+    /// disabled path.
+    #[default]
+    Off,
+    /// Aggregate events into fixed-size windows of
+    /// [`WindowStats`] — published in the run report.
+    Window {
+        /// Steps per window.
+        size: u64,
+    },
+    /// Stream every event as JSON Lines to a file.
+    Jsonl {
+        /// Output path, created/truncated at build time.
+        path: String,
+    },
+}
+
+impl ObserverSpec {
+    /// Materializes the observer slot this spec describes.
+    pub fn build(&self) -> Result<ScenarioObserver, ScenarioError> {
+        Ok(match self {
+            ObserverSpec::Off => ScenarioObserver::Off,
+            ObserverSpec::Window { size } => {
+                if *size == 0 {
+                    return Err(ScenarioError::Invalid("telemetry window size must be >= 1".into()));
+                }
+                ScenarioObserver::Window(WindowAggregator::new(*size))
+            }
+            ObserverSpec::Jsonl { path } => {
+                let f = File::create(path).map_err(|e| {
+                    ScenarioError::Invalid(format!("cannot create telemetry file {path}: {e}"))
+                })?;
+                ScenarioObserver::Jsonl(JsonlSink::new(BufWriter::new(f)))
+            }
+        })
+    }
+}
+
+/// The observer slot a scenario-built simulation carries: one concrete
+/// type covering every [`ObserverSpec`] choice plus caller-supplied
+/// observers, so `Scenario::build` can return a single simulation type.
+pub enum ScenarioObserver {
+    /// Telemetry disabled — reports `enabled() == false`, so the engine
+    /// skips event construction entirely.
+    Off,
+    /// Windowed aggregation.
+    Window(WindowAggregator),
+    /// JSONL streaming to a file.
+    Jsonl(JsonlSink<BufWriter<File>>),
+    /// A caller-supplied observer (from [`SimOverrides::observer`]).
+    Custom(Box<dyn SimObserver>),
+}
+
+impl ScenarioObserver {
+    /// The collected windows, when this is a window aggregator (closing
+    /// the trailing partial window).
+    pub fn into_windows(self) -> Option<Vec<WindowStats>> {
+        match self {
+            ScenarioObserver::Window(w) => Some(w.into_windows()),
+            _ => None,
+        }
+    }
+}
+
+impl SimObserver for ScenarioObserver {
+    fn enabled(&self) -> bool {
+        match self {
+            ScenarioObserver::Off => false,
+            ScenarioObserver::Window(_) | ScenarioObserver::Jsonl(_) => true,
+            ScenarioObserver::Custom(o) => o.enabled(),
+        }
+    }
+
+    fn observe(&mut self, ev: TraceEvent) {
+        match self {
+            ScenarioObserver::Off => {}
+            ScenarioObserver::Window(w) => w.observe(ev),
+            ScenarioObserver::Jsonl(s) => s.observe(ev),
+            ScenarioObserver::Custom(o) => o.observe(ev),
+        }
+    }
+
+    fn finish(&mut self) {
+        match self {
+            ScenarioObserver::Off => {}
+            ScenarioObserver::Window(w) => w.finish(),
+            ScenarioObserver::Jsonl(s) => s.finish(),
+            ScenarioObserver::Custom(o) => o.finish(),
+        }
+    }
+}
+
+/// Per-run overrides for [`Scenario::build`]: every `None` falls back to
+/// what the scenario file says (or its derived default). The struct is
+/// `Default`, so the common call is `sc.build(SimOverrides::default())`
+/// and call sites override only what they mean to change:
+///
+/// ```ignore
+/// let sim = sc.build(SimOverrides {
+///     engine: Some(EngineMode::DenseReference),
+///     history: Some(HistoryMode::None),
+///     ..SimOverrides::default()
+/// })?;
+/// ```
+#[derive(Default)]
+pub struct SimOverrides {
+    /// Master seed (default: the scenario's `seed`).
+    pub seed: Option<u64>,
+    /// Engine mode (default: the scenario's `engine` selection).
+    pub engine: Option<simqueue::EngineMode>,
+    /// History mode (default: `Sampled(steps/1024)`, ≥ 1).
+    pub history: Option<simqueue::HistoryMode>,
+    /// Telemetry observer (default: what the scenario's `telemetry`
+    /// section specifies; ignored by [`Scenario::build_with_observer`],
+    /// which takes the observer as a typed argument instead).
+    pub observer: Option<Box<dyn SimObserver>>,
+}
+
 fn default_steps() -> u64 {
     10_000
 }
@@ -464,6 +595,9 @@ pub struct Scenario {
     /// Engine mode (default auto: density-adaptive sparse/dense).
     #[serde(default)]
     pub engine: EngineSpec,
+    /// Telemetry (default off: the zero-cost disabled observer).
+    #[serde(default)]
+    pub telemetry: ObserverSpec,
     /// Steps to simulate.
     #[serde(default = "default_steps")]
     pub steps: u64,
@@ -507,26 +641,53 @@ impl Scenario {
         b.build().map_err(|e| ScenarioError::Invalid(e.to_string()))
     }
 
-    /// Builds the ready-to-run simulation using the scenario's own engine
-    /// selection (default: [`EngineSpec::Auto`]).
-    pub fn build_simulation(&self) -> Result<simqueue::Simulation, ScenarioError> {
-        self.build_simulation_with(
-            self.engine.mode(),
-            simqueue::HistoryMode::Sampled((self.steps / 1024).max(1)),
+    /// Builds the ready-to-run simulation — the single construction entry
+    /// point. Everything the scenario file specifies can be overridden
+    /// per run through `overrides`; `SimOverrides::default()` runs the
+    /// file as written (including its `telemetry` section).
+    pub fn build(
+        &self,
+        overrides: SimOverrides,
+    ) -> Result<simqueue::Simulation<ScenarioObserver>, ScenarioError> {
+        let SimOverrides {
+            seed,
+            engine,
+            history,
+            observer,
+        } = overrides;
+        let observer = match observer {
+            Some(o) => ScenarioObserver::Custom(o),
+            None => self.telemetry.build()?,
+        };
+        self.build_with_observer(
+            SimOverrides {
+                seed,
+                engine,
+                history,
+                observer: None,
+            },
+            observer,
         )
     }
 
-    /// Builds the simulation with an explicit engine mode and history mode.
-    ///
-    /// `lgg-sim bench` uses this to time the sparse and dense engines on
-    /// the same scenario without paying for history snapshots.
-    pub fn build_simulation_with(
+    /// [`Scenario::build`] with a statically-typed observer: callers that
+    /// know their observer type concretely (bench legs, trace capture,
+    /// the experiments driver) avoid the [`ScenarioObserver`] dispatch
+    /// enum. `overrides.observer` is ignored here — the typed `observer`
+    /// argument *is* the override — and the scenario's own `telemetry`
+    /// section is not consulted.
+    pub fn build_with_observer<O: SimObserver>(
         &self,
-        mode: simqueue::EngineMode,
-        history: simqueue::HistoryMode,
-    ) -> Result<simqueue::Simulation, ScenarioError> {
+        overrides: SimOverrides,
+        observer: O,
+    ) -> Result<simqueue::Simulation<O>, ScenarioError> {
         let spec = self.traffic_spec()?;
-        let protocol = self.protocol.build(&spec, self.seed);
+        let seed = overrides.seed.unwrap_or(self.seed);
+        let mode = overrides.engine.unwrap_or_else(|| self.engine.mode());
+        let history = overrides
+            .history
+            .unwrap_or(simqueue::HistoryMode::Sampled((self.steps / 1024).max(1)));
+        let protocol = self.protocol.build(&spec, seed);
         let dynamics = self.dynamics.build(spec.graph.edge_count());
         let sim = SimulationBuilder::new(spec, protocol)
             .engine_mode(mode)
@@ -535,9 +696,10 @@ impl Scenario {
             .topology(dynamics)
             .declaration(self.declaration.build())
             .extraction(self.extraction.build())
-            .seed(self.seed)
+            .seed(seed)
             .history(history)
             .track_ages(self.track_ages)
+            .observer(observer)
             .build();
         Ok(sim)
     }
@@ -587,6 +749,7 @@ mod tests {
             declaration: DeclarationSpec::FullRetention,
             extraction: ExtractionSpec::Lazy,
             engine: EngineSpec::DenseReference,
+            telemetry: ObserverSpec::Window { size: 64 },
             steps: 500,
             seed: 7,
             track_ages: true,
@@ -599,9 +762,78 @@ mod tests {
     #[test]
     fn scenario_runs_end_to_end() {
         let sc = Scenario::from_json(MINIMAL).unwrap();
-        let mut sim = sc.build_simulation().unwrap();
+        let mut sim = sc.build(SimOverrides::default()).unwrap();
         sim.run(500);
         assert!(sim.metrics().delivered > 0);
+    }
+
+    #[test]
+    fn overrides_replace_scenario_settings() {
+        let sc = Scenario::from_json(MINIMAL).unwrap();
+        // Engine override is visible; seed override changes the protocol
+        // seed path without touching the scenario.
+        let sim = sc
+            .build(SimOverrides {
+                engine: Some(simqueue::EngineMode::DenseReference),
+                history: Some(simqueue::HistoryMode::None),
+                seed: Some(42),
+                ..SimOverrides::default()
+            })
+            .unwrap();
+        assert_eq!(sim.engine_mode(), simqueue::EngineMode::DenseReference);
+    }
+
+    #[test]
+    fn telemetry_window_flows_into_observer() {
+        let mut sc = Scenario::from_json(MINIMAL).unwrap();
+        sc.telemetry = ObserverSpec::Window { size: 100 };
+        let mut sim = sc.build(SimOverrides::default()).unwrap();
+        sim.run(250);
+        let windows = sim.into_observer().into_windows().expect("window observer");
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].samples, 100);
+        assert_eq!(windows[2].samples, 50);
+        assert!(windows[0].injected > 0);
+    }
+
+    #[test]
+    fn telemetry_window_size_zero_is_rejected() {
+        let mut sc = Scenario::from_json(MINIMAL).unwrap();
+        sc.telemetry = ObserverSpec::Window { size: 0 };
+        assert!(sc.build(SimOverrides::default()).is_err());
+    }
+
+    #[test]
+    fn custom_observer_override_wins_over_telemetry_spec() {
+        let mut sc = Scenario::from_json(MINIMAL).unwrap();
+        sc.telemetry = ObserverSpec::Window { size: 100 };
+        let mut sim = sc
+            .build(SimOverrides {
+                observer: Some(Box::new(simqueue::RingRecorder::new(8))),
+                ..SimOverrides::default()
+            })
+            .unwrap();
+        sim.run(50);
+        // The slot holds the custom observer, not the window aggregator.
+        assert!(sim.into_observer().into_windows().is_none());
+    }
+
+    #[test]
+    fn telemetry_spec_round_trips() {
+        for spec in [
+            ObserverSpec::Off,
+            ObserverSpec::Window { size: 256 },
+            ObserverSpec::Jsonl {
+                path: "run.jsonl".into(),
+            },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ObserverSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+        // Absent section defaults to off.
+        let sc = Scenario::from_json(MINIMAL).unwrap();
+        assert_eq!(sc.telemetry, ObserverSpec::Off);
     }
 
     #[test]
@@ -623,7 +855,7 @@ mod tests {
             loss: LossSpec::Iid { p: 1.5 },
             ..Scenario::from_json(MINIMAL).unwrap()
         };
-        assert!(sc.build_simulation().is_err());
+        assert!(sc.build(SimOverrides::default()).is_err());
     }
 
     #[test]

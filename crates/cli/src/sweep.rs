@@ -22,8 +22,8 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::bench::{synthetic_cases, BenchReport};
-use crate::{EngineSpec, InjectionSpec, Scenario, ScenarioError};
-use simqueue::HistoryMode;
+use crate::{EngineSpec, InjectionSpec, Scenario, ScenarioError, SimOverrides};
+use simqueue::{HistoryMode, NoopObserver};
 
 /// One grid point: a scenario under a specific seed, rate and engine.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -182,7 +182,13 @@ fn build_grid(cfg: &SweepConfig) -> Result<Vec<(SweepItem, Scenario)>, ScenarioE
 
 /// Runs one grid point to completion and condenses the outcome.
 fn run_item(item: &SweepItem, sc: &Scenario) -> Result<SweepOutcome, ScenarioError> {
-    let mut sim = sc.build_simulation_with(sc.engine.mode(), HistoryMode::None)?;
+    let mut sim = sc.build_with_observer(
+        SimOverrides {
+            history: Some(HistoryMode::None),
+            ..SimOverrides::default()
+        },
+        NoopObserver,
+    )?;
     sim.run(item.steps);
     let m = sim.metrics();
     let queue_fnv = sim
@@ -299,6 +305,7 @@ pub fn write_sweep_into_bench(path: &str, report: SweepReport) -> Result<(), Sce
         generated_by: "lgg-sim sweep (no bench cases yet; run `lgg-sim bench`)".into(),
         cases: Vec::new(),
         sweep: None,
+        observer: None,
     };
     let mut bench: BenchReport = match std::fs::read_to_string(path) {
         Ok(text) if text.trim().is_empty() => fresh(),

@@ -3,7 +3,7 @@
 
 use netmodel::TrafficSpec;
 use serde::{Deserialize, Serialize};
-use simqueue::Simulation;
+use simqueue::{SimObserver, Simulation};
 
 /// One measured drift sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,7 +35,7 @@ pub struct DriftReport {
 
 /// Steps `sim` for `steps` steps, recording the exact drift of the network
 /// state at every transition.
-pub fn measure_drift(sim: &mut Simulation, steps: u64) -> Vec<DriftSample> {
+pub fn measure_drift<O: SimObserver>(sim: &mut Simulation<O>, steps: u64) -> Vec<DriftSample> {
     let mut out = Vec::with_capacity(steps as usize);
     let mut pt = sim.network_state();
     for _ in 0..steps {
@@ -140,8 +140,8 @@ impl BoundednessCensus {
 
 /// Steps `sim` for `steps` steps (after discarding `warmup`) and censuses
 /// which nodes return below `threshold` in every window (Definition 9).
-pub fn census_infinitely_bounded(
-    sim: &mut Simulation,
+pub fn census_infinitely_bounded<O: SimObserver>(
+    sim: &mut Simulation<O>,
     warmup: u64,
     steps: u64,
     threshold: u64,
@@ -181,8 +181,8 @@ pub fn census_infinitely_bounded(
 /// to its own floor. One pass records per-window queue minima; node `v` is
 /// recurrent iff every window's minimum stays within `slack` of its global
 /// minimum (i.e. the floor is revisited, not drifting upward).
-pub fn census_recurrent(
-    sim: &mut Simulation,
+pub fn census_recurrent<O: SimObserver>(
+    sim: &mut Simulation<O>,
     warmup: u64,
     steps: u64,
     slack: u64,

@@ -4,8 +4,8 @@ use lgg_core::Lgg;
 use netmodel::TrafficSpec;
 use serde::{Deserialize, Serialize};
 use simqueue::{
-    assess_stability, HistoryMode, Metrics, RoutingProtocol, Simulation, SimulationBuilder,
-    StabilityVerdict,
+    assess_stability, HistoryMode, Metrics, RoutingProtocol, SimObserver, Simulation,
+    SimulationBuilder, StabilityVerdict, WindowAggregator, WindowStats,
 };
 
 /// Condensed outcome of one simulation run.
@@ -28,8 +28,8 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
-    /// Extracts the outcome from a finished simulation.
-    pub fn from_sim(sim: &Simulation) -> Self {
+    /// Extracts the outcome from a finished simulation (any observer).
+    pub fn from_sim<O: SimObserver>(sim: &Simulation<O>) -> Self {
         let m = sim.metrics();
         let report = assess_stability(&m.history);
         RunOutcome {
@@ -106,6 +106,30 @@ pub fn run_customized(
     let mut sim = customize(builder).build();
     sim.run(steps);
     RunOutcome::from_sim(&sim)
+}
+
+/// Like [`run_customized`] but with a [`WindowAggregator`] riding along:
+/// returns the windowed `P_t` / loss / queue-occupancy time series next
+/// to the condensed outcome. The observer is passive — the trajectory
+/// (and hence the outcome) is identical to the unobserved run.
+pub fn run_windowed(
+    spec: &TrafficSpec,
+    protocol: Box<dyn RoutingProtocol>,
+    steps: u64,
+    seed: u64,
+    window: u64,
+    customize: impl FnOnce(
+        SimulationBuilder<WindowAggregator>,
+    ) -> SimulationBuilder<WindowAggregator>,
+) -> (RunOutcome, Vec<WindowStats>) {
+    let builder = SimulationBuilder::new(spec.clone(), protocol)
+        .seed(seed)
+        .history(HistoryMode::Sampled(stride_for(steps)))
+        .observer(WindowAggregator::new(window));
+    let mut sim = customize(builder).build();
+    sim.run(steps);
+    let outcome = RunOutcome::from_sim(&sim);
+    (outcome, sim.into_observer().into_windows())
 }
 
 /// Like [`run_customized`] but hands back the full metrics too.
@@ -313,6 +337,22 @@ mod tests {
         assert!(o.sup_total < 20);
         assert!(o.delivery > 0.9);
         assert_eq!(o.verdict_str(), "stable");
+    }
+
+    #[test]
+    fn run_windowed_matches_unobserved_run() {
+        let spec = TrafficSpecBuilder::new(mgraph::generators::path(3))
+            .source(0, 1)
+            .sink(2, 2)
+            .build()
+            .unwrap();
+        let plain = run_lgg(&spec, 4000, 1);
+        let (o, windows) = run_windowed(&spec, Box::new(Lgg::new()), 4000, 1, 1000, |b| b);
+        // The observer never perturbs the trajectory.
+        assert_eq!(o, plain);
+        assert_eq!(windows.len(), 4);
+        assert!(windows.iter().all(|w| w.samples == 1000));
+        assert!(windows[0].injected > 0);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::loss::{LossModel, NoLoss};
 use crate::metrics::{HistoryMode, Metrics, Snapshot};
 use crate::protocol::{NetView, RoutingProtocol, Transmission};
 use crate::rng::{split_seed, streams};
+use crate::trace::{NoopObserver, SimObserver, TraceEvent};
 
 /// Which stepping strategy the engine uses. All modes produce identical
 /// trajectories and metrics for the same seed; they differ only in cost.
@@ -246,7 +247,11 @@ fn merge_woken(active: &mut Vec<NodeId>, woken: &mut Vec<NodeId>, scratch: &mut 
 /// // Nothing routes under the null protocol: all packets sit at the source.
 /// assert_eq!(sim.queues()[0], 20);
 /// ```
-pub struct SimulationBuilder {
+///
+/// Telemetry: [`SimulationBuilder::observer`] swaps in any
+/// [`SimObserver`]; the default [`NoopObserver`] keeps the step loop
+/// trace-free at zero cost.
+pub struct SimulationBuilder<O: SimObserver = NoopObserver> {
     spec: TrafficSpec,
     protocol: Box<dyn RoutingProtocol>,
     injection: Box<dyn InjectionProcess>,
@@ -259,9 +264,10 @@ pub struct SimulationBuilder {
     initial_queues: Option<Vec<u64>>,
     track_ages: bool,
     mode: EngineMode,
+    observer: O,
 }
 
-impl SimulationBuilder {
+impl SimulationBuilder<NoopObserver> {
     /// Starts a builder for `spec` driven by `protocol`.
     pub fn new(spec: TrafficSpec, protocol: Box<dyn RoutingProtocol>) -> Self {
         SimulationBuilder {
@@ -277,6 +283,31 @@ impl SimulationBuilder {
             initial_queues: None,
             track_ages: false,
             mode: EngineMode::SparseActive,
+            observer: NoopObserver,
+        }
+    }
+}
+
+impl<O: SimObserver> SimulationBuilder<O> {
+    /// Installs `observer` as the simulation's telemetry sink, replacing
+    /// the current one (the type parameter changes with it, so this works
+    /// from the [`NoopObserver`] default and between real observers
+    /// alike).
+    pub fn observer<O2: SimObserver>(self, observer: O2) -> SimulationBuilder<O2> {
+        SimulationBuilder {
+            spec: self.spec,
+            protocol: self.protocol,
+            injection: self.injection,
+            loss: self.loss,
+            topology: self.topology,
+            declaration: self.declaration,
+            extraction: self.extraction,
+            seed: self.seed,
+            history: self.history,
+            initial_queues: self.initial_queues,
+            track_ages: self.track_ages,
+            mode: self.mode,
+            observer,
         }
     }
 
@@ -345,7 +376,7 @@ impl SimulationBuilder {
     }
 
     /// Finalizes the simulation.
-    pub fn build(self) -> Simulation {
+    pub fn build(self) -> Simulation<O> {
         let n = self.spec.node_count();
         let m = self.spec.graph.edge_count();
         let queues = match self.initial_queues {
@@ -403,6 +434,7 @@ impl SimulationBuilder {
             idle_declared,
             stateless_declaration,
             active_edges: vec![true; m],
+            prev_active_edges: Vec::new(),
             arrivals: vec![0; n],
             plan: Vec::new(),
             lost_mask: Vec::new(),
@@ -440,12 +472,17 @@ impl SimulationBuilder {
             declaration,
             extraction: self.extraction,
             history: self.history,
+            observer: self.observer,
         }
     }
 }
 
 /// A running simulation of one protocol on one network.
-pub struct Simulation {
+///
+/// The `O` parameter is the installed [`SimObserver`]; the default
+/// [`NoopObserver`] keeps existing `Simulation` signatures valid and the
+/// step loop telemetry-free.
+pub struct Simulation<O: SimObserver = NoopObserver> {
     spec: TrafficSpec,
     /// Precomputed source/sink/special-node lists (ascending node order).
     traffic: TrafficIndex,
@@ -468,6 +505,9 @@ pub struct Simulation {
     idle_declared: Vec<u64>,
     stateless_declaration: bool,
     active_edges: Vec<bool>,
+    /// Last step's link states, kept only while an observer is enabled —
+    /// phase 1 diffs it against `active_edges` to emit link flip events.
+    prev_active_edges: Vec<bool>,
 
     // Active-set state (sparse mode). `active` is sorted, duplicate-free,
     // and equals {v : q > 0} exactly at the start of every step.
@@ -503,13 +543,14 @@ pub struct Simulation {
     t: u64,
     metrics: Metrics,
     ages: Option<AgeState>,
+    observer: O,
     rng_injection: StdRng,
     rng_loss: StdRng,
     rng_topology: StdRng,
     rng_policy: StdRng,
 }
 
-impl Simulation {
+impl<O: SimObserver> Simulation<O> {
     /// The traffic specification being simulated.
     pub fn spec(&self) -> &TrafficSpec {
         &self.spec
@@ -571,6 +612,24 @@ impl Simulation {
         self.ages.as_ref().map(|a| &a.stats)
     }
 
+    /// The installed telemetry observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the observer (e.g. to drain a
+    /// [`RingRecorder`](crate::RingRecorder) mid-run).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the simulation, returning the observer — after calling
+    /// its [`SimObserver::finish`], since the run is over.
+    pub fn into_observer(mut self) -> O {
+        self.observer.finish();
+        self.observer
+    }
+
     /// Runs `steps` more steps and returns the metrics.
     pub fn run(&mut self, steps: u64) -> &Metrics {
         for _ in 0..steps {
@@ -610,9 +669,21 @@ impl Simulation {
                 if density < AUTO_SPARSE_BELOW {
                     self.auto_dense = false;
                     self.rebuild_sparse_state();
+                    if self.observer.enabled() {
+                        self.observer.observe(TraceEvent::EngineSwitch {
+                            t: self.t,
+                            dense: false,
+                        });
+                    }
                 }
             } else if density >= AUTO_DENSE_ABOVE {
                 self.auto_dense = true;
+                if self.observer.enabled() {
+                    self.observer.observe(TraceEvent::EngineSwitch {
+                        t: self.t,
+                        dense: true,
+                    });
+                }
             }
         }
         if self.auto_dense {
@@ -660,10 +731,29 @@ impl Simulation {
         let t = self.t;
         let spec = &self.spec;
         let g = &spec.graph;
+        // One flag check per step: when the observer is disabled (the
+        // NoopObserver default makes this a compile-time constant) every
+        // emit site below folds away and the step runs exactly as before.
+        let observing = self.observer.enabled();
 
         // 1. Topology.
+        if observing {
+            self.prev_active_edges.clear();
+            self.prev_active_edges.extend_from_slice(&self.active_edges);
+        }
         self.topology
             .update(g, t, &mut self.rng_topology, &mut self.active_edges);
+        if observing {
+            for e in 0..self.active_edges.len() {
+                if self.active_edges[e] != self.prev_active_edges[e] {
+                    self.observer.observe(if self.active_edges[e] {
+                        TraceEvent::LinkUp { t, edge: e as u32 }
+                    } else {
+                        TraceEvent::LinkDown { t, edge: e as u32 }
+                    });
+                }
+            }
+        }
 
         // 2. Injection (clamped to in(v); Definition 5). Only the
         // precomputed source list is visited — the dense loop skips
@@ -684,6 +774,13 @@ impl Simulation {
                 amt,
             );
             self.metrics.injected += amt;
+            if observing && amt > 0 {
+                self.observer.observe(TraceEvent::Injection {
+                    t,
+                    node: v.index() as u32,
+                    amount: amt,
+                });
+            }
             if let Some(ages) = &mut self.ages {
                 ages.fifos[v.index()].extend(std::iter::repeat(t).take(amt as usize));
             }
@@ -716,6 +813,24 @@ impl Simulation {
                 let q = self.queues[v.index()];
                 let raw = self.declaration.declare(spec, v, q, t, &mut self.rng_policy);
                 self.declared[v.index()] = clamp_declaration(spec, v, q, raw);
+            }
+        }
+        // Lie audit: the declaration clamp forces every non-special node
+        // truthful, so `declared ≠ q` can only occur on the precomputed
+        // (ascending) special-node list — scanning it yields the same
+        // event order in both engines.
+        if observing {
+            for &v in &self.traffic.specials {
+                let q = self.queues[v.index()];
+                let d = self.declared[v.index()];
+                if d != q {
+                    self.observer.observe(TraceEvent::DeclarationLie {
+                        t,
+                        node: v.index() as u32,
+                        true_q: q,
+                        declared: d,
+                    });
+                }
             }
         }
 
@@ -767,6 +882,13 @@ impl Simulation {
                 write += 1;
             } else {
                 self.metrics.rejected_plans += 1;
+                if observing {
+                    self.observer.observe(TraceEvent::PlanRejected {
+                        t,
+                        edge: tx.edge.index() as u32,
+                        from: tx.from.index() as u32,
+                    });
+                }
             }
         }
         self.plan.truncate(write);
@@ -789,6 +911,21 @@ impl Simulation {
         for i in 0..self.plan.len() {
             let tx = self.plan[i];
             let lost = self.lost_mask[i];
+            if observing {
+                self.observer.observe(TraceEvent::Transmission {
+                    t,
+                    edge: tx.edge.index() as u32,
+                    from: tx.from.index() as u32,
+                    to: g.other_endpoint(tx.edge, tx.from).index() as u32,
+                });
+                if lost {
+                    self.observer.observe(TraceEvent::Loss {
+                        t,
+                        edge: tx.edge.index() as u32,
+                        from: tx.from.index() as u32,
+                    });
+                }
+            }
             debit_queue(
                 &mut self.queues,
                 &mut self.acc_pt,
@@ -852,6 +989,13 @@ impl Simulation {
                 amt,
             );
             self.metrics.delivered += amt;
+            if observing && amt > 0 {
+                self.observer.observe(TraceEvent::Extraction {
+                    t,
+                    node: v.index() as u32,
+                    amount: amt,
+                });
+            }
             if let Some(ages) = &mut self.ages {
                 for _ in 0..amt {
                     let born = ages.fifos[v.index()].pop_front().expect("age/queue sync");
@@ -884,6 +1028,15 @@ impl Simulation {
             self.active.len(),
             self.queues.iter().filter(|&&q| q > 0).count()
         );
+        if observing {
+            self.observer.observe(TraceEvent::Sample {
+                t,
+                pt,
+                total,
+                max_queue: max_q,
+                active: self.active.len() as u64,
+            });
+        }
         self.metrics.sup_pt = self.metrics.sup_pt.max(pt);
         self.metrics.sup_total = self.metrics.sup_total.max(total);
         self.metrics.max_queue_ever = self.metrics.max_queue_ever.max(max_q);
@@ -910,10 +1063,28 @@ impl Simulation {
         let t = self.t;
         let spec = &self.spec;
         let g = &spec.graph;
+        // Mirrors step_sparse exactly: same events, same order, so the
+        // trace — like every other observable — is engine-mode-invariant.
+        let observing = self.observer.enabled();
 
         // 1. Topology.
+        if observing {
+            self.prev_active_edges.clear();
+            self.prev_active_edges.extend_from_slice(&self.active_edges);
+        }
         self.topology
             .update(g, t, &mut self.rng_topology, &mut self.active_edges);
+        if observing {
+            for e in 0..self.active_edges.len() {
+                if self.active_edges[e] != self.prev_active_edges[e] {
+                    self.observer.observe(if self.active_edges[e] {
+                        TraceEvent::LinkUp { t, edge: e as u32 }
+                    } else {
+                        TraceEvent::LinkDown { t, edge: e as u32 }
+                    });
+                }
+            }
+        }
 
         // 2. Injection (clamped to in(v); Definition 5).
         for v in g.nodes() {
@@ -927,6 +1098,13 @@ impl Simulation {
                 .min(cap);
             self.queues[v.index()] += amt;
             self.metrics.injected += amt;
+            if observing && amt > 0 {
+                self.observer.observe(TraceEvent::Injection {
+                    t,
+                    node: v.index() as u32,
+                    amount: amt,
+                });
+            }
             if let Some(ages) = &mut self.ages {
                 ages.fifos[v.index()].extend(std::iter::repeat(t).take(amt as usize));
             }
@@ -939,6 +1117,21 @@ impl Simulation {
                 .declaration
                 .declare(spec, v, q, t, &mut self.rng_policy);
             self.declared[v.index()] = clamp_declaration(spec, v, q, raw);
+        }
+        // Lie audit — same special-node scan as the sparse stepper.
+        if observing {
+            for &v in &self.traffic.specials {
+                let q = self.queues[v.index()];
+                let d = self.declared[v.index()];
+                if d != q {
+                    self.observer.observe(TraceEvent::DeclarationLie {
+                        t,
+                        node: v.index() as u32,
+                        true_q: q,
+                        declared: d,
+                    });
+                }
+            }
         }
 
         // 4. Planning.
@@ -981,6 +1174,13 @@ impl Simulation {
                 write += 1;
             } else {
                 self.metrics.rejected_plans += 1;
+                if observing {
+                    self.observer.observe(TraceEvent::PlanRejected {
+                        t,
+                        edge: tx.edge.index() as u32,
+                        from: tx.from.index() as u32,
+                    });
+                }
             }
         }
         self.plan.truncate(write);
@@ -999,6 +1199,21 @@ impl Simulation {
         );
         self.arrivals.iter_mut().for_each(|a| *a = 0);
         for (tx, &lost) in self.plan.iter().zip(self.lost_mask.iter()) {
+            if observing {
+                self.observer.observe(TraceEvent::Transmission {
+                    t,
+                    edge: tx.edge.index() as u32,
+                    from: tx.from.index() as u32,
+                    to: g.other_endpoint(tx.edge, tx.from).index() as u32,
+                });
+                if lost {
+                    self.observer.observe(TraceEvent::Loss {
+                        t,
+                        edge: tx.edge.index() as u32,
+                        from: tx.from.index() as u32,
+                    });
+                }
+            }
             self.queues[tx.from.index()] -= 1;
             self.metrics.sent += 1;
             self.metrics.link_sends[tx.edge.index()] += 1;
@@ -1036,6 +1251,13 @@ impl Simulation {
             let amt = clamp_extraction(spec, v, q, raw);
             self.queues[v.index()] -= amt;
             self.metrics.delivered += amt;
+            if observing && amt > 0 {
+                self.observer.observe(TraceEvent::Extraction {
+                    t,
+                    node: v.index() as u32,
+                    amount: amt,
+                });
+            }
             if let Some(ages) = &mut self.ages {
                 for _ in 0..amt {
                     let born = ages.fifos[v.index()].pop_front().expect("age/queue sync");
@@ -1054,6 +1276,16 @@ impl Simulation {
             pt += (q as u128) * (q as u128);
             total += q;
             max_q = max_q.max(q);
+        }
+        if observing {
+            let active = self.queues.iter().filter(|&&q| q > 0).count() as u64;
+            self.observer.observe(TraceEvent::Sample {
+                t,
+                pt,
+                total,
+                max_queue: max_q,
+                active,
+            });
         }
         self.metrics.sup_pt = self.metrics.sup_pt.max(pt);
         self.metrics.sup_total = self.metrics.sup_total.max(total);
@@ -1307,6 +1539,105 @@ mod tests {
                     .seed(3)
             },
             150,
+        );
+    }
+
+    #[test]
+    fn trace_is_engine_mode_invariant() {
+        // The event stream is part of the observable outcome: both
+        // steppers must emit identical events in identical order,
+        // covering lies, losses, rejections, and samples.
+        use crate::trace::RingRecorder;
+        let run = |mode: EngineMode| {
+            let spec = TrafficSpecBuilder::new(generators::grid2d(4, 4))
+                .generalized(0, 3, 1)
+                .generalized(15, 1, 3)
+                .retention(4)
+                .build()
+                .unwrap();
+            let mut sim = SimulationBuilder::new(spec, Box::new(TestGreedy))
+                .declaration(Box::new(FullRetention))
+                .extraction(Box::new(LazyExtraction))
+                .loss(Box::new(IidLoss::new(0.2)))
+                .seed(11)
+                .engine_mode(mode)
+                .observer(RingRecorder::new(usize::MAX))
+                .build();
+            sim.run(200);
+            sim.into_observer().take()
+        };
+        let sparse = run(EngineMode::SparseActive);
+        let dense = run(EngineMode::DenseReference);
+        assert!(!sparse.is_empty());
+        assert_eq!(sparse.len(), dense.len(), "event counts diverged");
+        for (i, (a, b)) in sparse.iter().zip(&dense).enumerate() {
+            assert_eq!(a, b, "event {i} diverged");
+        }
+        // The stream exercises the interesting kinds on this workload.
+        let has = |f: fn(&TraceEvent) -> bool| sparse.iter().any(f);
+        assert!(has(|e| matches!(e, TraceEvent::Injection { .. })));
+        assert!(has(|e| matches!(e, TraceEvent::DeclarationLie { .. })));
+        assert!(has(|e| matches!(e, TraceEvent::Transmission { .. })));
+        assert!(has(|e| matches!(e, TraceEvent::Loss { .. })));
+        assert!(has(|e| matches!(e, TraceEvent::Extraction { .. })));
+        assert!(has(|e| matches!(e, TraceEvent::Sample { .. })));
+        // One sample per step, closing each step's event group.
+        let samples = sparse
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Sample { .. }))
+            .count();
+        assert_eq!(samples, 200);
+    }
+
+    #[test]
+    fn observer_does_not_perturb_trajectory() {
+        // Observed and unobserved runs of the same seed must agree on
+        // every metric — emitting events consumes no randomness.
+        use crate::trace::RingRecorder;
+        let base = || {
+            SimulationBuilder::new(path_spec(), Box::new(TestGreedy))
+                .loss(Box::new(IidLoss::new(0.2)))
+                .seed(7)
+                .history(HistoryMode::EveryStep)
+        };
+        let mut plain = base().build();
+        plain.run(300);
+        let mut observed = base().observer(RingRecorder::new(64)).build();
+        observed.run(300);
+        assert_eq!(plain.queues(), observed.queues());
+        assert_eq!(plain.metrics(), observed.metrics());
+        assert!(observed.observer().total_seen() > 0);
+    }
+
+    #[test]
+    fn auto_emits_engine_switch_events() {
+        use crate::trace::RingRecorder;
+        let spec = TrafficSpecBuilder::new(generators::path(4))
+            .source(0, 1)
+            .sink(1, 1)
+            .sink(2, 1)
+            .sink(3, 1)
+            .build()
+            .unwrap();
+        let mut sim = SimulationBuilder::new(spec, Box::new(NullProtocol))
+            .injection(Box::new(BernoulliInjection::new(0.0)))
+            .engine_mode(EngineMode::Auto)
+            .initial_queues(vec![8, 8, 8, 8])
+            .observer(RingRecorder::new(usize::MAX))
+            .build();
+        sim.run(AUTO_CHECK_INTERVAL + 1);
+        let switches: Vec<TraceEvent> = sim
+            .observer()
+            .events()
+            .filter(|e| matches!(e, TraceEvent::EngineSwitch { .. }))
+            .copied()
+            .collect();
+        assert_eq!(
+            switches,
+            vec![TraceEvent::EngineSwitch {
+                t: AUTO_CHECK_INTERVAL,
+                dense: false
+            }]
         );
     }
 

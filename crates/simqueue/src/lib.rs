@@ -50,6 +50,7 @@ pub mod dynamic;
 pub mod injection;
 pub mod loss;
 pub mod protocol;
+pub mod trace;
 
 pub use ages::LatencyStats;
 pub use declare::{DeclarationPolicy, TruthfulDeclaration};
@@ -60,4 +61,7 @@ pub use engine::{
 pub use metrics::{HistoryMode, Metrics, Snapshot};
 pub use protocol::{NetView, RoutingProtocol, Transmission};
 pub use rng::split_seed;
+pub use trace::{
+    JsonlSink, NoopObserver, RingRecorder, SimObserver, TraceEvent, WindowAggregator, WindowStats,
+};
 pub use stability::{assess_stability, StabilityReport, StabilityVerdict};

@@ -20,10 +20,20 @@ LGG_THREADS=1 cargo test -q --test determinism
 LGG_THREADS=4 cargo test -q --test determinism
 
 cargo bench -p lgg-bench -- --test
-cargo run --release -p lgg-cli -- bench --quick --out "$(mktemp)"
+# Quick bench end-to-end, gated against the checked-in baseline: the
+# observer section always runs full-length, and the run fails if the
+# disabled-observer engine drops >2% below the recorded numbers.
+cargo run --release -p lgg-cli -- bench --quick --out "$(mktemp)" \
+    --baseline BENCH_throughput.json
 
 # Sweep smoke: runs the scenario x seed x rate x engine grid serially and
 # in parallel and exits nonzero if the two result digests differ.
 cargo run --release -p lgg-cli -- sweep --smoke --out "$(mktemp)"
+
+# Trace smoke: captures the built-in scenario's JSONL event stream twice
+# and fails unless the two captures are byte-identical; the golden-trace
+# test additionally pins the stream against tests/golden/trace_small.jsonl.
+cargo run --release -p lgg-cli -- trace --smoke
+cargo test -q --test golden_trace
 
 echo "ci: OK"

@@ -15,7 +15,7 @@
 use std::sync::{Mutex, OnceLock};
 
 use experiments::{run_experiment, ALL_IDS};
-use lgg_cli::{sweep_digest, SweepConfig};
+use lgg_cli::{capture_trace, sweep_digest, trace_smoke_scenario, SweepConfig};
 
 /// Serializes access to the process-wide thread-count override.
 fn override_lock() -> &'static Mutex<()> {
@@ -69,6 +69,24 @@ fn sweep_grid_digest_is_thread_count_independent() {
     assert_eq!(
         narrow, wide,
         "sweep digest diverged between 1 and {WIDE} threads"
+    );
+}
+
+#[test]
+fn jsonl_trace_is_thread_count_independent() {
+    // The event trace is an externally consumed byte stream, so its
+    // determinism bar is byte equality, not just equal aggregates. A
+    // single simulation never crosses threads today, but the trace runs
+    // under whatever pool configuration the process has — pin it both
+    // ways to lock the contract.
+    let sc = trace_smoke_scenario();
+    let capture = || capture_trace(&sc, sc.steps, 1).expect("smoke scenario traces");
+    let narrow = with_threads(1, capture);
+    let wide = with_threads(WIDE, capture);
+    assert!(!narrow.is_empty());
+    assert_eq!(
+        narrow, wide,
+        "JSONL trace bytes diverged between 1 and {WIDE} threads"
     );
 }
 

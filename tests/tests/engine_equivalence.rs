@@ -9,7 +9,7 @@
 //! latency statistics is the end-to-end form of the bit-for-bit
 //! requirement.
 
-use lgg_cli::Scenario;
+use lgg_cli::{Scenario, ScenarioObserver, SimOverrides};
 use simqueue::{EngineMode, HistoryMode, Simulation};
 
 /// Steps per scenario: enough to cross warm-up transients, burst cycles
@@ -20,9 +20,13 @@ fn scenario_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../scenarios")
 }
 
-fn run(sc: &Scenario, mode: EngineMode) -> Simulation {
+fn run(sc: &Scenario, mode: EngineMode) -> Simulation<ScenarioObserver> {
     let mut sim = sc
-        .build_simulation_with(mode, HistoryMode::Sampled(64))
+        .build(SimOverrides {
+            engine: Some(mode),
+            history: Some(HistoryMode::Sampled(64)),
+            ..SimOverrides::default()
+        })
         .expect("scenario builds");
     sim.run(STEPS);
     sim
@@ -69,7 +73,7 @@ fn sparse_and_dense_engines_agree_on_all_scenarios() {
 fn default_engine_is_auto_and_reports_active_set() {
     let text = std::fs::read_to_string(scenario_dir().join("saturated_dumbbell.json")).unwrap();
     let sc = Scenario::from_json(&text).unwrap();
-    let mut sim = sc.build_simulation().unwrap();
+    let mut sim = sc.build(SimOverrides::default()).unwrap();
     // Scenarios without an explicit "engine" field get the adaptive mode;
     // cold networks start in the sparse regime.
     assert_eq!(sim.engine_mode(), EngineMode::Auto);
