@@ -36,7 +36,7 @@ use simqueue::{
 };
 
 use crate::sweep::SweepReport;
-use crate::{Endpoint, ProtocolSpec, Scenario, ScenarioError, SimOverrides, TopologySpec};
+use crate::{Endpoint, ProtocolSpec, Scenario, LggError, SimOverrides, TopologySpec};
 
 /// Timed repetitions per (case, engine) pair; the fastest is reported.
 /// Five repetitions (up from three) because the min-of-N filter has to
@@ -192,10 +192,10 @@ const SCENARIO_FILES: &[(&str, &str, u64)] = &[
 /// then min-of-[`REPS`] nanoseconds. The build closure executes outside
 /// the timed region, so observer construction cost never leaks into the
 /// per-step numbers.
-fn time_runs<O, F>(build: F, steps: u64) -> Result<f64, ScenarioError>
+fn time_runs<O, F>(build: F, steps: u64) -> Result<f64, LggError>
 where
     O: SimObserver,
-    F: Fn() -> Result<simqueue::Simulation<O>, ScenarioError>,
+    F: Fn() -> Result<simqueue::Simulation<O>, LggError>,
 {
     // Warm-up: populate caches and fault pages outside the measurement.
     let mut warm = build()?;
@@ -227,7 +227,7 @@ fn bench_overrides(mode: EngineMode) -> SimOverrides {
     }
 }
 
-fn time_engine(sc: &Scenario, mode: EngineMode, steps: u64) -> Result<f64, ScenarioError> {
+fn time_engine(sc: &Scenario, mode: EngineMode, steps: u64) -> Result<f64, LggError> {
     time_runs(|| sc.build_with_observer(bench_overrides(mode), NoopObserver), steps)
 }
 
@@ -236,13 +236,13 @@ fn round(x: f64, decimals: i32) -> f64 {
     (x * f).round() / f
 }
 
-fn run_case(name: &str, sc: &Scenario, steps: u64) -> Result<BenchCase, ScenarioError> {
+fn run_case(name: &str, sc: &Scenario, steps: u64) -> Result<BenchCase, LggError> {
     let spec = sc.traffic_spec()?;
     let nodes = spec.graph.node_count();
     let edges = spec.graph.edge_count();
     let size = (nodes + edges) as f64;
 
-    let per_mode = |mode| -> Result<EngineThroughput, ScenarioError> {
+    let per_mode = |mode| -> Result<EngineThroughput, LggError> {
         let ns = time_engine(sc, mode, steps)?;
         Ok(EngineThroughput {
             steps_per_sec: round(steps as f64 / (ns / 1e9), 1),
@@ -273,7 +273,7 @@ fn run_case(name: &str, sc: &Scenario, steps: u64) -> Result<BenchCase, Scenario
 /// number reflects what every default `lgg-sim` run actually pays for
 /// having the telemetry subsystem compiled in — not an assumption about
 /// dead-code elimination.
-pub fn observer_bench() -> Result<ObserverBench, ScenarioError> {
+pub fn observer_bench() -> Result<ObserverBench, LggError> {
     let (name, sc, steps) = synthetic_cases(false)
         .into_iter()
         .next()
@@ -319,11 +319,11 @@ pub fn observer_bench() -> Result<ObserverBench, ScenarioError> {
 pub fn check_observer_baseline(
     report: &BenchReport,
     baseline: &BenchReport,
-) -> Result<(), ScenarioError> {
+) -> Result<(), LggError> {
     let current = report
         .observer
         .as_ref()
-        .ok_or_else(|| ScenarioError::Invalid("report has no observer bench section".into()))?;
+        .ok_or_else(|| LggError::scenario("report has no observer bench section"))?;
     let reference = baseline
         .observer
         .as_ref()
@@ -336,13 +336,13 @@ pub fn check_observer_baseline(
                 .map(|c| c.sparse.steps_per_sec)
         })
         .ok_or_else(|| {
-            ScenarioError::Invalid(format!(
+            LggError::scenario(format!(
                 "baseline has neither an observer section nor a '{}' case",
                 current.case
             ))
         })?;
     if current.off.steps_per_sec < 0.98 * reference {
-        return Err(ScenarioError::Invalid(format!(
+        return Err(LggError::scenario(format!(
             "disabled-observer throughput regressed: {} steps/s is more than 2% below \
              the recorded baseline {} steps/s on {}",
             current.off.steps_per_sec, reference, current.case
@@ -359,7 +359,7 @@ pub fn check_observer_baseline(
 /// live (normally `scenarios` relative to the repo root); `quick` divides
 /// the step counts by 10 for smoke runs (except the observer-overhead
 /// section, which always runs full length).
-pub fn run_bench_suite(scenario_dir: &str, quick: bool) -> Result<BenchReport, ScenarioError> {
+pub fn run_bench_suite(scenario_dir: &str, quick: bool) -> Result<BenchReport, LggError> {
     let mut cases = Vec::new();
     for (name, sc, steps) in synthetic_cases(quick) {
         eprintln!("bench: {name} ({steps} steps x{REPS} reps x3 engines)...");
@@ -368,7 +368,7 @@ pub fn run_bench_suite(scenario_dir: &str, quick: bool) -> Result<BenchReport, S
     for &(name, file, steps) in SCENARIO_FILES {
         let path = format!("{scenario_dir}/{file}");
         let text = std::fs::read_to_string(&path).map_err(|e| {
-            ScenarioError::Invalid(format!(
+            LggError::scenario(format!(
                 "cannot read {path}: {e} (run `lgg-sim bench` from the repo root \
                  or pass --scenarios DIR)"
             ))

@@ -1,0 +1,289 @@
+//! `lgg-sim run`: checkpointed, resumable scenario execution.
+//!
+//! The paper's stability question only shows up over very long horizons —
+//! a billion-step run that dies at step 900 million must not start over.
+//! This subcommand wires [`simqueue::checkpoint`] into the scenario
+//! runner: `--checkpoint-every N --checkpoint-dir D` snapshots the
+//! complete simulation state crash-safely, and `--resume` picks the run
+//! back up from the newest readable snapshot.
+//!
+//! Resume is *bit-for-bit*: the resumed run produces the same queues,
+//! metrics, RNG draws and trace bytes as the uninterrupted one. For
+//! `--trace` files that guarantee is kept by recording the flushed byte
+//! count inside the snapshot and truncating the artifact back to it on
+//! resume — any partially-written tail from the crash is cut off and
+//! regenerated identically.
+//!
+//! `--kill-after K` exists for the crash-recovery smoke test: it runs to
+//! step `K` and dies via `abort()` — no destructors, no buffer flushes —
+//! the most faithful stand-in for a power cut that a process can produce.
+
+use std::fs::{self, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom};
+use std::path::PathBuf;
+
+use simqueue::{CheckpointConfig, JsonlSink, LggError};
+
+use crate::{Scenario, ScenarioObserver, SimOverrides};
+
+/// Configuration for [`run_with_checkpoints`] (the `lgg-sim run`
+/// subcommand), parsed from its flags.
+#[derive(Debug, Default)]
+pub struct RunConfig {
+    /// Path of the scenario JSON file.
+    pub scenario_path: String,
+    /// Steps to run (default: the scenario's `steps`). Absolute: a
+    /// resumed run continues *to* this step, not *for* this many more.
+    pub steps: Option<u64>,
+    /// Snapshot period in steps (`--checkpoint-every`).
+    pub checkpoint_every: Option<u64>,
+    /// Snapshot directory (`--checkpoint-dir`); required by
+    /// `--checkpoint-every`, `--resume` and `--kill-after`.
+    pub checkpoint_dir: Option<String>,
+    /// Resume from the newest readable snapshot before running.
+    pub resume: bool,
+    /// Stream the event trace as JSON Lines to this file.
+    pub trace: Option<String>,
+    /// Thin per-step `sample` trace lines to every Nth step (0/1 = all).
+    pub sample_stride: u64,
+    /// Crash hard (`abort()`, skipping flushes) after this step.
+    pub kill_after: Option<u64>,
+}
+
+/// What a completed `lgg-sim run` reports.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Final step count.
+    pub steps: u64,
+    /// The snapshot step the run resumed from, if any.
+    pub resumed_from: Option<u64>,
+    /// Total packets injected (across the whole run, resumes included).
+    pub injected: u64,
+    /// Total packets delivered.
+    pub delivered: u64,
+    /// Total packets lost in transit.
+    pub lost: u64,
+    /// Final network state `P_t = Σ q²`.
+    pub final_pt: u128,
+    /// Supremum of `P_t` over the run.
+    pub sup_pt: u128,
+}
+
+impl RunSummary {
+    /// One-line human rendering.
+    pub fn human(&self) -> String {
+        let resumed = match self.resumed_from {
+            Some(t) => format!(" (resumed from step {t})"),
+            None => String::new(),
+        };
+        format!(
+            "run: {} steps{}  injected {}  delivered {}  lost {}  P_t {}  sup P_t {}",
+            self.steps,
+            resumed,
+            self.injected,
+            self.delivered,
+            self.lost,
+            self.final_pt,
+            self.sup_pt
+        )
+    }
+}
+
+/// Executes `cfg`: build (or resume) the scenario simulation, run it to
+/// the target step with periodic crash-safe snapshots, and summarize.
+pub fn run_with_checkpoints(cfg: &RunConfig) -> Result<RunSummary, LggError> {
+    let ckpt_dir: Option<PathBuf> = cfg.checkpoint_dir.as_ref().map(PathBuf::from);
+    if ckpt_dir.is_none() && (cfg.checkpoint_every.is_some() || cfg.resume || cfg.kill_after.is_some())
+    {
+        return Err(LggError::scenario(
+            "--checkpoint-every/--resume/--kill-after require --checkpoint-dir",
+        ));
+    }
+
+    let text = fs::read_to_string(&cfg.scenario_path)
+        .map_err(|e| LggError::io(format!("cannot read {}", cfg.scenario_path), e))?;
+    let sc = Scenario::from_json(&text)?;
+    let target = cfg.steps.unwrap_or(sc.steps);
+    // With a dir but no period, only the final-step snapshot is written
+    // (useful to seed a later --resume without paying periodic I/O).
+    let every = cfg.checkpoint_every.unwrap_or(target.max(1));
+
+    // The trace observer opens its file without truncating: on resume the
+    // already-written prefix must survive (it is cut back to the exact
+    // checkpointed byte count below, never rewritten).
+    let observer = match &cfg.trace {
+        Some(path) => {
+            let f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)
+                .map_err(|e| LggError::io(format!("cannot open trace file {path}"), e))?;
+            let stride = cfg.sample_stride.max(1);
+            ScenarioObserver::Jsonl(JsonlSink::new(BufWriter::new(f)).with_sample_stride(stride))
+        }
+        None => sc.telemetry.build()?,
+    };
+
+    let mut sim = sc.build_with_observer(
+        SimOverrides {
+            checkpoint: ckpt_dir
+                .as_ref()
+                .map(|d| CheckpointConfig::new(every, d.clone())),
+            ..SimOverrides::default()
+        },
+        observer,
+    )?;
+
+    let resumed_from = match (&ckpt_dir, cfg.resume) {
+        (Some(dir), true) => sim.resume_from_dir(dir)?,
+        _ => None,
+    };
+
+    // Align the trace artifact with the restored (or fresh) state: cut it
+    // to the flushed byte count the snapshot recorded, or to zero for a
+    // fresh run. Bytes past that point are a crash's unflushed tail.
+    if cfg.trace.is_some() {
+        if let ScenarioObserver::Jsonl(sink) = sim.observer_mut() {
+            let pos = if resumed_from.is_some() {
+                sink.bytes_written()
+            } else {
+                0
+            };
+            let file = sink.writer_mut().get_mut();
+            file.set_len(pos)
+                .and_then(|()| file.seek(SeekFrom::Start(pos)).map(|_| ()))
+                .map_err(|e| LggError::io("cannot align trace file for resume", e))?;
+        }
+    }
+
+    if let Some(k) = cfg.kill_after.filter(|&k| k < target) {
+        // Periodic snapshots only — deliberately NOT the final-step
+        // snapshot run_until would add — then die without unwinding, so
+        // resume has to replay from the last periodic snapshot exactly
+        // like after a real crash.
+        let dir = ckpt_dir.as_ref().expect("checked above");
+        while sim.time() < k {
+            sim.step();
+            if sim.time() % every == 0 {
+                sim.write_checkpoint_to(dir)?;
+            }
+        }
+        std::process::abort();
+    }
+
+    sim.run_until(target)?;
+
+    let summary = RunSummary {
+        steps: sim.time(),
+        resumed_from,
+        injected: sim.metrics().injected,
+        delivered: sim.metrics().delivered,
+        lost: sim.metrics().lost,
+        final_pt: sim.network_state(),
+        sup_pt: sim.metrics().sup_pt,
+    };
+    // Flush the trace and surface any write error the run swallowed
+    // (JsonlSink keeps the first error sticky instead of panicking
+    // mid-step).
+    let mut obs = sim.into_observer();
+    if let ScenarioObserver::Jsonl(sink) = &mut obs {
+        if let Some(e) = sink.take_error() {
+            return Err(LggError::io("trace write failed", e));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_scenario(dir: &std::path::Path) -> String {
+        let path = dir.join("sc.json");
+        fs::write(
+            &path,
+            r#"{
+                "topology": {"kind": "grid2d", "rows": 3, "cols": 3},
+                "sources": [{"node": 0, "rate": 1}],
+                "sinks": [{"node": 8, "rate": 2}],
+                "generalized": [{"node": 4, "in": 1, "out": 0}],
+                "retention": 4,
+                "declaration": "full-retention",
+                "protocol": "lgg",
+                "loss": {"kind": "iid", "p": 0.1},
+                "steps": 400,
+                "seed": 11
+            }"#,
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn fresh_run_then_resume_is_byte_identical() {
+        let base = std::env::temp_dir().join(format!("lgg_run_cmd_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        fs::create_dir_all(&base).unwrap();
+        let sc_path = write_scenario(&base);
+
+        // Uninterrupted reference trace.
+        let full_trace = base.join("full.jsonl");
+        let summary = run_with_checkpoints(&RunConfig {
+            scenario_path: sc_path.clone(),
+            trace: Some(full_trace.to_string_lossy().into_owned()),
+            sample_stride: 1,
+            ..RunConfig::default()
+        })
+        .unwrap();
+        assert_eq!(summary.steps, 400);
+        assert!(summary.resumed_from.is_none());
+
+        // Two-part run: stop at 150 (checkpointed), then resume to 400.
+        let part_trace = base.join("part.jsonl");
+        let ckpt = base.join("ckpts");
+        let first = run_with_checkpoints(&RunConfig {
+            scenario_path: sc_path.clone(),
+            steps: Some(150),
+            checkpoint_every: Some(60),
+            checkpoint_dir: Some(ckpt.to_string_lossy().into_owned()),
+            trace: Some(part_trace.to_string_lossy().into_owned()),
+            sample_stride: 1,
+            ..RunConfig::default()
+        })
+        .unwrap();
+        assert_eq!(first.steps, 150);
+        let second = run_with_checkpoints(&RunConfig {
+            scenario_path: sc_path,
+            steps: Some(400),
+            checkpoint_every: Some(60),
+            checkpoint_dir: Some(ckpt.to_string_lossy().into_owned()),
+            resume: true,
+            trace: Some(part_trace.to_string_lossy().into_owned()),
+            sample_stride: 1,
+            ..RunConfig::default()
+        })
+        .unwrap();
+        assert_eq!(second.resumed_from, Some(150));
+        assert_eq!(second.steps, 400);
+        assert_eq!(second.injected, summary.injected);
+        assert_eq!(second.sup_pt, summary.sup_pt);
+
+        let a = fs::read(&full_trace).unwrap();
+        let b = fs::read(&part_trace).unwrap();
+        assert_eq!(a, b, "resumed trace must be byte-identical");
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn checkpoint_flags_require_dir() {
+        let err = run_with_checkpoints(&RunConfig {
+            scenario_path: "does-not-matter.json".into(),
+            checkpoint_every: Some(10),
+            ..RunConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, LggError::Scenario(_)), "{err}");
+    }
+}

@@ -30,6 +30,7 @@
 //! ```
 
 mod bench;
+mod checkpoint_cmd;
 mod report;
 mod scenario;
 mod sweep;
@@ -39,13 +40,17 @@ pub use bench::{
     check_observer_baseline, observer_bench, run_bench_suite, BenchCase, BenchReport,
     EngineThroughput, ObserverBench,
 };
+pub use checkpoint_cmd::{run_with_checkpoints, RunConfig, RunSummary};
 pub use report::{run_scenario, RunReport};
 pub use sweep::{
     run_sweep, sweep_digest, write_sweep_into_bench, SweepConfig, SweepItem, SweepReport,
 };
 pub use scenario::{
     DeclarationSpec, DynamicsSpec, Endpoint, EngineSpec, ExtractionSpec, GeneralizedNode,
-    InjectionSpec, LossSpec, ObserverSpec, ProtocolSpec, Scenario, ScenarioError,
-    ScenarioObserver, SimOverrides, TopologySpec,
+    InjectionSpec, LossSpec, ObserverSpec, ProtocolSpec, Scenario, ScenarioObserver,
+    TopologySpec,
 };
+// The workspace error type and override bag live in `simqueue`; re-export
+// them so CLI-facing code keeps one import path.
+pub use simqueue::{CheckpointConfig, LggError, SimOverrides};
 pub use trace_cmd::{capture_trace, fnv1a_digest, trace_smoke_scenario};

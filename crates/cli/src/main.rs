@@ -5,8 +5,17 @@ use std::process::ExitCode;
 
 use lgg_cli::{
     capture_trace, check_observer_baseline, fnv1a_digest, run_bench_suite, run_scenario,
-    run_sweep, trace_smoke_scenario, write_sweep_into_bench, BenchReport, Scenario, SweepConfig,
+    run_sweep, run_with_checkpoints, trace_smoke_scenario, write_sweep_into_bench, BenchReport,
+    LggError, RunConfig, Scenario, SweepConfig,
 };
+
+/// Print a typed error and exit with its dedicated code (see
+/// [`LggError::exit_code`]): scenario 2, parse 3, I/O 4, graph/model 5,
+/// corrupt checkpoint 6, checkpoint version 7, checkpoint mismatch 8.
+fn fail(e: &LggError) -> ExitCode {
+    eprintln!("{e}");
+    ExitCode::from(e.exit_code())
+}
 
 const TEMPLATE: &str = r#"{
   "topology": {"kind": "dumbbell", "clique": 4, "bridge": 2},
@@ -35,6 +44,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("trace") {
         return run_trace_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("run") {
+        return run_run_cmd(&args[1..]);
     }
     let mut json_out = false;
     let mut path: Option<String> = None;
@@ -69,10 +81,7 @@ fn main() -> ExitCode {
     };
     let scenario = match Scenario::from_json(&text) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&e),
     };
     match run_scenario(&scenario) {
         Ok(report) => {
@@ -83,10 +92,105 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+        Err(e) => fail(&e),
+    }
+}
+
+/// `lgg-sim run SCENARIO.json [--steps N] [--checkpoint-every N]
+/// [--checkpoint-dir D] [--resume] [--trace FILE] [--sample-every N]
+/// [--kill-after N]`: run a scenario with crash-safe checkpoints.
+/// `--resume` continues from the newest readable snapshot in D and is
+/// bit-for-bit identical to an uninterrupted run, including the `--trace`
+/// artifact. `--kill-after` aborts the process hard after N steps (used
+/// by the CI crash-recovery smoke leg).
+fn run_run_cmd(args: &[String]) -> ExitCode {
+    let mut cfg = RunConfig {
+        sample_stride: 1,
+        ..RunConfig::default()
+    };
+    let mut path: Option<String> = None;
+    let mut json_out = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_out = true,
+            "--resume" => cfg.resume = true,
+            "--steps" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => cfg.steps = Some(n),
+                None => {
+                    eprintln!("--steps needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-every" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.checkpoint_every = Some(n),
+                _ => {
+                    eprintln!("--checkpoint-every needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-dir" => match it.next() {
+                Some(v) => cfg.checkpoint_dir = Some(v.clone()),
+                None => {
+                    eprintln!("--checkpoint-dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match it.next() {
+                Some(v) => cfg.trace = Some(v.clone()),
+                None => {
+                    eprintln!("--trace needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sample-every" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.sample_stride = n,
+                _ => {
+                    eprintln!("--sample-every needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--kill-after" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => cfg.kill_after = Some(n),
+                None => {
+                    eprintln!("--kill-after needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown run flag {other}");
+                return ExitCode::FAILURE;
+            }
         }
+    }
+    let Some(path) = path else {
+        eprintln!("run needs a scenario file");
+        return ExitCode::FAILURE;
+    };
+    cfg.scenario_path = path;
+    match run_with_checkpoints(&cfg) {
+        Ok(summary) => {
+            if json_out {
+                println!(
+                    "{{\"steps\":{},\"resumed_from\":{},\"injected\":{},\"delivered\":{},\
+                     \"lost\":{},\"final_pt\":{},\"sup_pt\":{}}}",
+                    summary.steps,
+                    summary
+                        .resumed_from
+                        .map_or("null".to_string(), |t| t.to_string()),
+                    summary.injected,
+                    summary.delivered,
+                    summary.lost,
+                    summary.final_pt,
+                    summary.sup_pt
+                );
+            } else {
+                println!("{}", summary.human());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
     }
 }
 
@@ -191,16 +295,12 @@ fn run_bench(args: &[String]) -> ExitCode {
             println!("wrote {out}");
             if let Some(baseline) = &baseline {
                 if let Err(e) = check_observer_baseline(&report, baseline) {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
+                    return fail(&e);
                 }
             }
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail(&e),
     }
 }
 
@@ -263,19 +363,13 @@ fn run_trace_cmd(args: &[String]) -> ExitCode {
         };
         match Scenario::from_json(&text) {
             Ok(s) => s,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail(&e),
         }
     };
     let steps = steps.unwrap_or(scenario.steps);
     let bytes = match capture_trace(&scenario, steps, sample_every) {
         Ok(b) => b,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&e),
     };
     if smoke {
         // Self-checking: a second capture must be byte-identical — this
@@ -286,10 +380,7 @@ fn run_trace_cmd(args: &[String]) -> ExitCode {
                 eprintln!("trace smoke FAILED: two captures differ; determinism is broken");
                 return ExitCode::FAILURE;
             }
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail(&e),
         }
         let lines = bytes.iter().filter(|&&b| b == b'\n').count();
         println!("trace smoke ok: {steps} steps, {lines} events, digest {}", fnv1a_digest(&bytes));
@@ -370,16 +461,12 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
                 report.digest
             );
             if let Err(e) = write_sweep_into_bench(&out, report) {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
+                return fail(&e);
             }
             println!("wrote {out}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail(&e),
     }
 }
 
@@ -395,7 +482,11 @@ fn print_help() {
          \u{20}                           # parallel parameter grid, serial-vs-parallel\n\
          \u{20}                           # wall clock -> sweep section of the bench file\n\
          \u{20}      lgg-sim trace [SCENARIO.json | --smoke] [--out FILE] [--steps N] [--sample-every N]\n\
-         \u{20}                           # per-step event trace as JSON Lines\n\n\
+         \u{20}                           # per-step event trace as JSON Lines\n\
+         \u{20}      lgg-sim run SCENARIO.json [--steps N] [--checkpoint-every N] [--checkpoint-dir D]\n\
+         \u{20}                  [--resume] [--trace FILE] [--sample-every N] [--json]\n\
+         \u{20}                           # long run with crash-safe snapshots; --resume\n\
+         \u{20}                           # continues bit-for-bit from the newest snapshot\n\n\
          The scenario format covers topology, sources/sinks/R-generalized\n\
          nodes, protocol (lgg, matching-lgg, maxflow-routing, shortest-path,\n\
          flood, random-forward), arrival processes, loss models, topology\n\

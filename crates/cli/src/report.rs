@@ -4,7 +4,7 @@ use netmodel::{classify, NetworkClass};
 use serde::{Deserialize, Serialize};
 use simqueue::{assess_stability, LatencyStats, Metrics, StabilityReport, WindowStats};
 
-use crate::{Scenario, ScenarioError, SimOverrides};
+use crate::{Scenario, LggError, SimOverrides};
 
 /// The full machine-readable result of one scenario run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -84,7 +84,7 @@ impl RunReport {
 /// scenario's `telemetry` section is honored: a window aggregator's
 /// time-series lands in [`RunReport::telemetry`], a JSONL sink is
 /// flushed to its file.
-pub fn run_scenario(scenario: &Scenario) -> Result<RunReport, ScenarioError> {
+pub fn run_scenario(scenario: &Scenario) -> Result<RunReport, LggError> {
     let spec = scenario.traffic_spec()?;
     let classification = classify(&spec);
     let mut sim = scenario.build(SimOverrides::default())?;

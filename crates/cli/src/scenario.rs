@@ -20,43 +20,18 @@ use simqueue::injection::{
 };
 use simqueue::loss::{AdversarialLoss, GilbertElliottLoss, IidLoss, LossModel, NoLoss};
 use simqueue::{
-    ExtractionPolicy, JsonlSink, LazyExtraction, MaxExtraction, RoutingProtocol, SimObserver,
-    SimulationBuilder, TraceEvent, WindowAggregator, WindowStats,
+    ExtractionPolicy, JsonlSink, LazyExtraction, LggError, MaxExtraction, RoutingProtocol,
+    SimObserver, SimOverrides, SimulationBuilder, TraceEvent, WindowAggregator, WindowStats,
 };
 
 use std::fs::File;
 use std::io::BufWriter;
 
-/// Errors raised while materializing a scenario.
-#[derive(Debug)]
-pub enum ScenarioError {
-    /// The JSON didn't parse.
-    Parse(serde_json::Error),
-    /// The parsed scenario is inconsistent (bad node ids, rates...).
-    Invalid(String),
-}
-
-impl std::fmt::Display for ScenarioError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ScenarioError::Parse(e) => write!(f, "scenario parse error: {e}"),
-            ScenarioError::Invalid(m) => write!(f, "invalid scenario: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for ScenarioError {}
-
-impl From<serde_json::Error> for ScenarioError {
-    fn from(e: serde_json::Error) -> Self {
-        ScenarioError::Parse(e)
-    }
-}
-
 /// Topology description.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(tag = "kind", rename_all = "kebab-case")]
 #[allow(missing_docs)] // field names are the documentation
+#[non_exhaustive]
 pub enum TopologySpec {
     /// Path on `n` nodes.
     Path { n: usize },
@@ -93,12 +68,12 @@ pub enum TopologySpec {
 
 impl TopologySpec {
     /// Materializes the multigraph.
-    pub fn build(&self) -> Result<MultiGraph, ScenarioError> {
+    pub fn build(&self) -> Result<MultiGraph, LggError> {
         Ok(match self {
             TopologySpec::Path { n } => generators::path(*n),
             TopologySpec::Cycle { n } => {
                 if *n < 3 {
-                    return Err(ScenarioError::Invalid("cycle needs n >= 3".into()));
+                    return Err(LggError::scenario("cycle needs n >= 3"));
                 }
                 generators::cycle(*n)
             }
@@ -106,7 +81,7 @@ impl TopologySpec {
             TopologySpec::Grid2d { rows, cols } => generators::grid2d(*rows, *cols),
             TopologySpec::Torus2d { rows, cols } => {
                 if *rows < 3 || *cols < 3 {
-                    return Err(ScenarioError::Invalid("torus needs dims >= 3".into()));
+                    return Err(LggError::scenario("torus needs dims >= 3"));
                 }
                 generators::torus2d(*rows, *cols)
             }
@@ -114,13 +89,13 @@ impl TopologySpec {
             TopologySpec::ParallelPair { k } => generators::parallel_pair(*k),
             TopologySpec::Dumbbell { clique, bridge } => {
                 if *clique < 1 {
-                    return Err(ScenarioError::Invalid("dumbbell needs clique >= 1".into()));
+                    return Err(LggError::scenario("dumbbell needs clique >= 1"));
                 }
                 generators::dumbbell(*clique, *bridge)
             }
             TopologySpec::LayeredDiamond { layers, width } => {
                 if *layers < 1 || *width < 1 {
-                    return Err(ScenarioError::Invalid("diamond needs layers, width >= 1".into()));
+                    return Err(LggError::scenario("diamond needs layers, width >= 1"));
                 }
                 generators::layered_diamond(*layers, *width)
             }
@@ -142,7 +117,7 @@ impl TopologySpec {
                 let mut b = MultiGraphBuilder::with_nodes(*nodes);
                 for &(u, v) in edges {
                     b.add_edge(NodeId::new(u), NodeId::new(v))
-                        .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+                        .map_err(|e| LggError::scenario(e.to_string()))?;
                 }
                 b.build()
             }
@@ -174,6 +149,7 @@ pub struct GeneralizedNode {
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(tag = "kind", rename_all = "kebab-case")]
 #[allow(missing_docs)] // field names are the documentation
+#[non_exhaustive]
 pub enum InjectionSpec {
     /// Exactly `in(v)` per step.
     Exact,
@@ -190,18 +166,18 @@ pub enum InjectionSpec {
 }
 
 impl InjectionSpec {
-    fn build(&self) -> Result<Box<dyn InjectionProcess>, ScenarioError> {
+    fn build(&self) -> Result<Box<dyn InjectionProcess>, LggError> {
         Ok(match self {
             InjectionSpec::Exact => Box::new(ExactInjection),
             InjectionSpec::Scaled { num, den } => {
                 if *den == 0 || num > den {
-                    return Err(ScenarioError::Invalid("scaled fraction must be <= 1".into()));
+                    return Err(LggError::scenario("scaled fraction must be <= 1"));
                 }
                 Box::new(ScaledInjection::new(*num, *den))
             }
             InjectionSpec::Bernoulli { p } => {
                 if !(0.0..=1.0).contains(p) {
-                    return Err(ScenarioError::Invalid("bernoulli p out of range".into()));
+                    return Err(LggError::scenario("bernoulli p out of range"));
                 }
                 Box::new(BernoulliInjection::new(*p))
             }
@@ -223,6 +199,7 @@ impl InjectionSpec {
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(tag = "kind", rename_all = "kebab-case")]
 #[allow(missing_docs)] // field names are the documentation
+#[non_exhaustive]
 pub enum LossSpec {
     /// Lossless channel.
     None,
@@ -240,12 +217,12 @@ pub enum LossSpec {
 }
 
 impl LossSpec {
-    fn build(&self) -> Result<Box<dyn LossModel>, ScenarioError> {
+    fn build(&self) -> Result<Box<dyn LossModel>, LggError> {
         Ok(match self {
             LossSpec::None => Box::new(NoLoss),
             LossSpec::Iid { p } => {
                 if !(0.0..=1.0).contains(p) {
-                    return Err(ScenarioError::Invalid("loss p out of range".into()));
+                    return Err(LggError::scenario("loss p out of range"));
                 }
                 Box::new(IidLoss::new(*p))
             }
@@ -269,6 +246,7 @@ impl LossSpec {
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(tag = "kind", rename_all = "kebab-case")]
 #[allow(missing_docs)] // field names are the documentation
+#[non_exhaustive]
 pub enum DynamicsSpec {
     /// All links always up (the paper's core model).
     Static,
@@ -316,6 +294,7 @@ impl DynamicsSpec {
 /// Protocol selection.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(rename_all = "kebab-case")]
+#[non_exhaustive]
 pub enum ProtocolSpec {
     /// Algorithm 1 (smallest-first).
     Lgg,
@@ -358,6 +337,7 @@ impl ProtocolSpec {
 /// Declaration policy selection (R-generalized lying strategies).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
 #[serde(rename_all = "kebab-case")]
+#[non_exhaustive]
 pub enum DeclarationSpec {
     /// Always truthful.
     #[default]
@@ -384,6 +364,7 @@ impl DeclarationSpec {
 /// Extraction policy selection.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
 #[serde(rename_all = "kebab-case")]
+#[non_exhaustive]
 pub enum ExtractionSpec {
     /// Extract `min(out, q)` (classic sink).
     #[default]
@@ -404,6 +385,7 @@ impl ExtractionSpec {
 /// Engine selection (see [`simqueue::EngineMode`]).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Default)]
 #[serde(rename_all = "kebab-case")]
+#[non_exhaustive]
 pub enum EngineSpec {
     /// Decide per run from the measured active-set density (the default:
     /// sparse wins on quiescent networks, dense on saturated ones, and the
@@ -455,18 +437,18 @@ pub enum ObserverSpec {
 
 impl ObserverSpec {
     /// Materializes the observer slot this spec describes.
-    pub fn build(&self) -> Result<ScenarioObserver, ScenarioError> {
+    pub fn build(&self) -> Result<ScenarioObserver, LggError> {
         Ok(match self {
             ObserverSpec::Off => ScenarioObserver::Off,
             ObserverSpec::Window { size } => {
                 if *size == 0 {
-                    return Err(ScenarioError::Invalid("telemetry window size must be >= 1".into()));
+                    return Err(LggError::scenario("telemetry window size must be >= 1"));
                 }
                 ScenarioObserver::Window(WindowAggregator::new(*size))
             }
             ObserverSpec::Jsonl { path } => {
                 let f = File::create(path).map_err(|e| {
-                    ScenarioError::Invalid(format!("cannot create telemetry file {path}: {e}"))
+                    LggError::scenario(format!("cannot create telemetry file {path}: {e}"))
                 })?;
                 ScenarioObserver::Jsonl(JsonlSink::new(BufWriter::new(f)))
             }
@@ -526,32 +508,24 @@ impl SimObserver for ScenarioObserver {
             ScenarioObserver::Custom(o) => o.finish(),
         }
     }
-}
 
-/// Per-run overrides for [`Scenario::build`]: every `None` falls back to
-/// what the scenario file says (or its derived default). The struct is
-/// `Default`, so the common call is `sc.build(SimOverrides::default())`
-/// and call sites override only what they mean to change:
-///
-/// ```ignore
-/// let sim = sc.build(SimOverrides {
-///     engine: Some(EngineMode::DenseReference),
-///     history: Some(HistoryMode::None),
-///     ..SimOverrides::default()
-/// })?;
-/// ```
-#[derive(Default)]
-pub struct SimOverrides {
-    /// Master seed (default: the scenario's `seed`).
-    pub seed: Option<u64>,
-    /// Engine mode (default: the scenario's `engine` selection).
-    pub engine: Option<simqueue::EngineMode>,
-    /// History mode (default: `Sampled(steps/1024)`, ≥ 1).
-    pub history: Option<simqueue::HistoryMode>,
-    /// Telemetry observer (default: what the scenario's `telemetry`
-    /// section specifies; ignored by [`Scenario::build_with_observer`],
-    /// which takes the observer as a typed argument instead).
-    pub observer: Option<Box<dyn SimObserver>>,
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        match self {
+            ScenarioObserver::Off => {}
+            ScenarioObserver::Window(w) => w.save_state(out),
+            ScenarioObserver::Jsonl(s) => s.save_state(out),
+            ScenarioObserver::Custom(o) => o.save_state(out),
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), LggError> {
+        match self {
+            ScenarioObserver::Off => Ok(()),
+            ScenarioObserver::Window(w) => w.load_state(bytes),
+            ScenarioObserver::Jsonl(s) => s.load_state(bytes),
+            ScenarioObserver::Custom(o) => o.load_state(bytes),
+        }
+    }
 }
 
 fn default_steps() -> u64 {
@@ -621,12 +595,12 @@ fn default_dynamics() -> DynamicsSpec {
 
 impl Scenario {
     /// Parses a scenario from JSON.
-    pub fn from_json(json: &str) -> Result<Self, ScenarioError> {
+    pub fn from_json(json: &str) -> Result<Self, LggError> {
         Ok(serde_json::from_str(json)?)
     }
 
     /// Materializes the traffic specification.
-    pub fn traffic_spec(&self) -> Result<TrafficSpec, ScenarioError> {
+    pub fn traffic_spec(&self) -> Result<TrafficSpec, LggError> {
         let graph = self.topology.build()?;
         let mut b = TrafficSpecBuilder::new(graph).retention(self.retention);
         for s in &self.sources {
@@ -638,7 +612,7 @@ impl Scenario {
         for g in &self.generalized {
             b = b.generalized(g.node, g.r#in, g.out);
         }
-        b.build().map_err(|e| ScenarioError::Invalid(e.to_string()))
+        b.build().map_err(|e| LggError::scenario(e.to_string()))
     }
 
     /// Builds the ready-to-run simulation — the single construction entry
@@ -648,12 +622,13 @@ impl Scenario {
     pub fn build(
         &self,
         overrides: SimOverrides,
-    ) -> Result<simqueue::Simulation<ScenarioObserver>, ScenarioError> {
+    ) -> Result<simqueue::Simulation<ScenarioObserver>, LggError> {
         let SimOverrides {
             seed,
             engine,
             history,
             observer,
+            checkpoint,
         } = overrides;
         let observer = match observer {
             Some(o) => ScenarioObserver::Custom(o),
@@ -665,6 +640,7 @@ impl Scenario {
                 engine,
                 history,
                 observer: None,
+                checkpoint,
             },
             observer,
         )
@@ -680,7 +656,7 @@ impl Scenario {
         &self,
         overrides: SimOverrides,
         observer: O,
-    ) -> Result<simqueue::Simulation<O>, ScenarioError> {
+    ) -> Result<simqueue::Simulation<O>, LggError> {
         let spec = self.traffic_spec()?;
         let seed = overrides.seed.unwrap_or(self.seed);
         let mode = overrides.engine.unwrap_or_else(|| self.engine.mode());
@@ -689,7 +665,7 @@ impl Scenario {
             .unwrap_or(simqueue::HistoryMode::Sampled((self.steps / 1024).max(1)));
         let protocol = self.protocol.build(&spec, seed);
         let dynamics = self.dynamics.build(spec.graph.edge_count());
-        let sim = SimulationBuilder::new(spec, protocol)
+        let mut sim = SimulationBuilder::new(spec, protocol)
             .engine_mode(mode)
             .injection(self.injection.build()?)
             .loss(self.loss.build()?)
@@ -701,6 +677,7 @@ impl Scenario {
             .track_ages(self.track_ages)
             .observer(observer)
             .build();
+        sim.set_checkpoint(overrides.checkpoint);
         Ok(sim)
     }
 }

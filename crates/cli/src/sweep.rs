@@ -22,7 +22,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::bench::{synthetic_cases, BenchReport};
-use crate::{EngineSpec, InjectionSpec, Scenario, ScenarioError, SimOverrides};
+use crate::{EngineSpec, InjectionSpec, Scenario, LggError, SimOverrides};
 use simqueue::{HistoryMode, NoopObserver};
 
 /// One grid point: a scenario under a specific seed, rate and engine.
@@ -113,7 +113,7 @@ fn fnv1a_u64(hash: u64, x: u64) -> u64 {
 }
 
 /// Builds the parameter grid: scenario × seed × rate × engine.
-fn build_grid(cfg: &SweepConfig) -> Result<Vec<(SweepItem, Scenario)>, ScenarioError> {
+fn build_grid(cfg: &SweepConfig) -> Result<Vec<(SweepItem, Scenario)>, LggError> {
     // Two synthetic suite scenarios with opposite density profiles (the
     // steady grid is sparse-friendly, the oversubscribed random graph is
     // dense), plus one file-backed scenario exercising the declaration
@@ -129,7 +129,7 @@ fn build_grid(cfg: &SweepConfig) -> Result<Vec<(SweepItem, Scenario)>, ScenarioE
     let mut scenarios = vec![pick("grid-16x16-steady"), pick("random-512-dense")];
     let dumbbell_path = format!("{}/saturated_dumbbell.json", cfg.scenario_dir);
     let text = std::fs::read_to_string(&dumbbell_path).map_err(|e| {
-        ScenarioError::Invalid(format!(
+        LggError::scenario(format!(
             "cannot read {dumbbell_path}: {e} (run `lgg-sim sweep` from the \
              repo root or pass --scenarios DIR)"
         ))
@@ -181,7 +181,7 @@ fn build_grid(cfg: &SweepConfig) -> Result<Vec<(SweepItem, Scenario)>, ScenarioE
 }
 
 /// Runs one grid point to completion and condenses the outcome.
-fn run_item(item: &SweepItem, sc: &Scenario) -> Result<SweepOutcome, ScenarioError> {
+fn run_item(item: &SweepItem, sc: &Scenario) -> Result<SweepOutcome, LggError> {
     let mut sim = sc.build_with_observer(
         SimOverrides {
             history: Some(HistoryMode::None),
@@ -206,8 +206,8 @@ fn run_item(item: &SweepItem, sc: &Scenario) -> Result<SweepOutcome, ScenarioErr
 
 /// Runs the whole grid once across the current pool configuration,
 /// returning outcomes in input order.
-fn run_grid(grid: &[(SweepItem, Scenario)]) -> Result<Vec<SweepOutcome>, ScenarioError> {
-    let results: Vec<Result<SweepOutcome, ScenarioError>> = grid
+fn run_grid(grid: &[(SweepItem, Scenario)]) -> Result<Vec<SweepOutcome>, LggError> {
+    let results: Vec<Result<SweepOutcome, LggError>> = grid
         .par_iter()
         .map(|(item, sc)| run_item(item, sc))
         .collect();
@@ -229,7 +229,7 @@ pub fn digest_outcomes(outcomes: &[SweepOutcome]) -> String {
 /// Runs the sweep grid once under the *current* pool configuration and
 /// returns its digest. The determinism test calls this under different
 /// `LGG_THREADS` settings and compares digests across processes.
-pub fn sweep_digest(cfg: &SweepConfig) -> Result<String, ScenarioError> {
+pub fn sweep_digest(cfg: &SweepConfig) -> Result<String, LggError> {
     let grid = build_grid(cfg)?;
     let outcomes = run_grid(&grid)?;
     Ok(digest_outcomes(&outcomes))
@@ -242,7 +242,7 @@ fn round(x: f64, decimals: i32) -> f64 {
 
 /// Runs the full sweep: one-thread leg, parallel leg, equality check,
 /// wall-clock report.
-pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, ScenarioError> {
+pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, LggError> {
     let grid = build_grid(cfg)?;
     let items = grid.len();
 
@@ -274,7 +274,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, ScenarioError> {
             .zip(&parallel)
             .position(|(a, b)| a != b)
             .unwrap_or(0);
-        return Err(ScenarioError::Invalid(format!(
+        return Err(LggError::scenario(format!(
             "sweep results diverged between 1 and {threads} threads \
              (first at item {first}: {:?}); determinism is broken",
             grid[first].0
@@ -297,7 +297,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, ScenarioError> {
 /// Installs `report` as the `sweep` section of the bench file at `path`,
 /// preserving any existing `cases`; creates a cases-less file when none
 /// exists yet.
-pub fn write_sweep_into_bench(path: &str, report: SweepReport) -> Result<(), ScenarioError> {
+pub fn write_sweep_into_bench(path: &str, report: SweepReport) -> Result<(), LggError> {
     // An absent or empty file (e.g. `--out "$(mktemp)"`) starts fresh; a
     // non-empty file that fails to parse is an error, so a corrupted bench
     // baseline is never silently clobbered.
@@ -310,15 +310,15 @@ pub fn write_sweep_into_bench(path: &str, report: SweepReport) -> Result<(), Sce
     let mut bench: BenchReport = match std::fs::read_to_string(path) {
         Ok(text) if text.trim().is_empty() => fresh(),
         Ok(text) => serde_json::from_str(&text).map_err(|e| {
-            ScenarioError::Invalid(format!("{path} exists but does not parse: {e}"))
+            LggError::scenario(format!("{path} exists but does not parse: {e}"))
         })?,
         Err(_) => fresh(),
     };
     bench.sweep = Some(report);
     let json = serde_json::to_string_pretty(&bench)
-        .map_err(|e| ScenarioError::Invalid(format!("serialize: {e}")))?;
+        .map_err(|e| LggError::scenario(format!("serialize: {e}")))?;
     std::fs::write(path, format!("{json}\n"))
-        .map_err(|e| ScenarioError::Invalid(format!("cannot write {path}: {e}")))?;
+        .map_err(|e| LggError::scenario(format!("cannot write {path}: {e}")))?;
     Ok(())
 }
 

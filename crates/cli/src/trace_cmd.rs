@@ -9,7 +9,7 @@
 
 use simqueue::JsonlSink;
 
-use crate::{Scenario, ScenarioError, SimOverrides};
+use crate::{Scenario, LggError, SimOverrides};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -32,7 +32,7 @@ pub fn capture_trace(
     sc: &Scenario,
     steps: u64,
     sample_stride: u64,
-) -> Result<Vec<u8>, ScenarioError> {
+) -> Result<Vec<u8>, LggError> {
     let sink = JsonlSink::new(Vec::new()).with_sample_stride(sample_stride);
     let mut sim = sc.build_with_observer(
         SimOverrides {
@@ -45,7 +45,7 @@ pub fn capture_trace(
     // into_observer() runs finish() (a flush; infallible on Vec<u8>).
     let mut sink = sim.into_observer();
     if let Some(e) = sink.take_error() {
-        return Err(ScenarioError::Invalid(format!("trace write failed: {e}")));
+        return Err(LggError::scenario(format!("trace write failed: {e}")));
     }
     Ok(sink.into_inner())
 }

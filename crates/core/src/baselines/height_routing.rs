@@ -21,7 +21,8 @@
 //! heights *re-converge by themselves* after topology changes. Comparing
 //! it against LGG isolates what using queues **as** the gradient buys.
 
-use simqueue::{NetView, RoutingProtocol, Transmission};
+use simqueue::checkpoint::wire;
+use simqueue::{LggError, NetView, RoutingProtocol, Transmission};
 
 /// Distributed push–relabel forwarding (height-gradient routing).
 #[derive(Debug, Default)]
@@ -93,6 +94,18 @@ impl RoutingProtocol for HeightRouting {
 
     fn reset(&mut self) {
         self.height.clear();
+    }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        // Learned heights are the whole protocol: a resumed run must not
+        // re-learn them (it would re-route differently while converging).
+        wire::put_u64_slice(out, &self.height);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), LggError> {
+        let mut r = wire::Reader::new(bytes);
+        self.height = r.u64_vec()?;
+        r.done()
     }
 }
 

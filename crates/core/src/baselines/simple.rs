@@ -3,7 +3,8 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use simqueue::{NetView, RoutingProtocol, Transmission};
+use simqueue::checkpoint::wire;
+use simqueue::{LggError, NetView, RoutingProtocol, Transmission};
 
 /// Send one packet over *every* active incident link while packets remain,
 /// regardless of the neighbor's queue.
@@ -89,6 +90,22 @@ impl RoutingProtocol for RandomForward {
                 });
             }
         }
+    }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        for w in self.rng.state() {
+            wire::put_u64(out, w);
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), LggError> {
+        let mut r = wire::Reader::new(bytes);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = r.u64()?;
+        }
+        self.rng = StdRng::from_state(s);
+        r.done()
     }
 }
 

@@ -4,7 +4,8 @@ use mgraph::EdgeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use simqueue::{NetView, RoutingProtocol, Transmission};
+use simqueue::checkpoint::wire;
+use simqueue::{LggError, NetView, RoutingProtocol, Transmission};
 
 /// How a node chooses which links to use when it has more strictly-smaller
 /// neighbors than packets (`q_t(u)` of them get a packet).
@@ -201,6 +202,27 @@ impl RoutingProtocol for Lgg {
         // Restore the tie-break RNG too: a reset run must replay the same
         // random choices as a fresh protocol with this seed.
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        // The RNG position and round-robin offsets both shape future
+        // plans; `scratch` is per-call and excluded.
+        for w in self.rng.state() {
+            wire::put_u64(out, w);
+        }
+        let rr: Vec<u64> = self.rr.iter().map(|&x| x as u64).collect();
+        wire::put_u64_slice(out, &rr);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), LggError> {
+        let mut r = wire::Reader::new(bytes);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = r.u64()?;
+        }
+        self.rng = StdRng::from_state(s);
+        self.rr = r.u64_vec()?.into_iter().map(|x| x as u32).collect();
+        r.done()
     }
 }
 

@@ -35,6 +35,18 @@ pub trait DeclarationPolicy {
     fn is_stateless(&self) -> bool {
         false
     }
+
+    /// Appends the policy's evolving state to `out` for a checkpoint (see
+    /// [`crate::checkpoint`]). All shipped policies are pure functions of
+    /// `(spec, v, q)` plus the engine-owned policy RNG — which the engine
+    /// checkpoints itself — so the default writes nothing; custom stateful
+    /// policies must override both hooks.
+    fn save_state(&mut self, _out: &mut Vec<u8>) {}
+
+    /// Restores state captured by [`DeclarationPolicy::save_state`].
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), crate::error::LggError> {
+        Ok(())
+    }
 }
 
 /// Always declare the true queue length (legal for any `R`).

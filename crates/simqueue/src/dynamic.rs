@@ -12,6 +12,9 @@ use mgraph::MultiGraph;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::checkpoint::wire;
+use crate::error::LggError;
+
 /// Maintains the link-activity mask, called once at the start of each step.
 pub trait TopologyProcess {
     /// Short name for reports.
@@ -22,6 +25,16 @@ pub trait TopologyProcess {
 
     /// Resets internal state.
     fn reset(&mut self) {}
+
+    /// Appends the process's evolving state to `out` for a checkpoint
+    /// (see [`crate::checkpoint`]). Stateless/time-indexed processes —
+    /// the default — write nothing.
+    fn save_state(&mut self, _out: &mut Vec<u8>) {}
+
+    /// Restores state captured by [`TopologyProcess::save_state`].
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), LggError> {
+        Ok(())
+    }
 }
 
 /// The static topology of the paper's core model: every link always up.
@@ -92,6 +105,16 @@ impl TopologyProcess for MarkovTopology {
 
     fn reset(&mut self) {
         self.down.clear();
+    }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        wire::put_bool_slice(out, &self.down);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), LggError> {
+        let mut r = wire::Reader::new(bytes);
+        self.down = r.bool_vec()?;
+        r.done()
     }
 }
 
@@ -177,6 +200,22 @@ mod tests {
         assert!(!active[2]);
         topo.reset();
         assert!(topo.down.is_empty());
+    }
+
+    #[test]
+    fn markov_state_round_trips() {
+        let g = generators::cycle(8);
+        let mut topo = MarkovTopology::new(0.3, 0.3, vec![]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut active = vec![true; g.edge_count()];
+        for t in 0..25 {
+            topo.update(&g, t, &mut rng, &mut active);
+        }
+        let mut blob = Vec::new();
+        topo.save_state(&mut blob);
+        let mut copy = MarkovTopology::new(0.3, 0.3, vec![]);
+        copy.load_state(&blob).unwrap();
+        assert_eq!(topo.down, copy.down);
     }
 
     #[test]

@@ -23,14 +23,19 @@
 //!   between them mid-run cannot change any observable outcome, so `Auto`
 //!   inherits the same determinism guarantee.
 
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
 use mgraph::NodeId;
 use netmodel::{TrafficIndex, TrafficSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::ages::AgeState;
+use crate::checkpoint::{self, wire, CheckpointConfig};
 use crate::declare::{clamp_declaration, DeclarationPolicy, TruthfulDeclaration};
 use crate::dynamic::{StaticTopology, TopologyProcess};
+use crate::error::LggError;
 use crate::injection::{ExactInjection, InjectionProcess};
 use crate::loss::{LossModel, NoLoss};
 use crate::metrics::{HistoryMode, Metrics, Snapshot};
@@ -91,6 +96,17 @@ pub trait ExtractionPolicy {
     /// Raw extraction amount before legality clamping.
     fn extract(&mut self, spec: &TrafficSpec, v: NodeId, q: u64, t: u64, rng: &mut StdRng)
         -> u64;
+
+    /// Appends the policy's evolving state to `out` for a checkpoint (see
+    /// [`crate::checkpoint`]). Both shipped policies are pure functions of
+    /// `(spec, v, q)`, so the default writes nothing; custom stateful
+    /// policies must override both hooks.
+    fn save_state(&mut self, _out: &mut Vec<u8>) {}
+
+    /// Restores state captured by [`ExtractionPolicy::save_state`].
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), LggError> {
+        Ok(())
+    }
 }
 
 /// Extract as much as allowed: `min(out, q)` — the classic sink behavior.
@@ -473,8 +489,29 @@ impl<O: SimObserver> SimulationBuilder<O> {
             extraction: self.extraction,
             history: self.history,
             observer: self.observer,
+            checkpoint: None,
         }
     }
+}
+
+/// Construction-time overrides a run driver threads into a scenario-built
+/// simulation — the one bag of knobs `Scenario::build` (CLI), the sweep
+/// grid, and the experiment harness all accept, so a new capability wired
+/// here reaches every entry point at once.
+#[derive(Default)]
+pub struct SimOverrides {
+    /// Replaces the scenario's master seed.
+    pub seed: Option<u64>,
+    /// Replaces the scenario's engine mode.
+    pub engine: Option<EngineMode>,
+    /// Replaces the scenario's history mode.
+    pub history: Option<HistoryMode>,
+    /// Installs a custom observer in place of the scenario's telemetry
+    /// section.
+    pub observer: Option<Box<dyn SimObserver>>,
+    /// Enables periodic crash-safe checkpointing on the built simulation
+    /// (see [`Simulation::set_checkpoint`]).
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 /// A running simulation of one protocol on one network.
@@ -548,6 +585,9 @@ pub struct Simulation<O: SimObserver = NoopObserver> {
     rng_loss: StdRng,
     rng_topology: StdRng,
     rng_policy: StdRng,
+    /// When set, [`Simulation::run_until`] writes periodic crash-safe
+    /// snapshots (see [`crate::checkpoint`]).
+    checkpoint: Option<CheckpointConfig>,
 }
 
 impl<O: SimObserver> Simulation<O> {
@@ -1307,6 +1347,287 @@ impl<O: SimObserver> Simulation<O> {
     }
 }
 
+/// Stable wire tag for [`EngineMode`] inside checkpoint payloads.
+fn mode_tag(mode: EngineMode) -> u32 {
+    match mode {
+        EngineMode::SparseActive => 0,
+        EngineMode::DenseReference => 1,
+        EngineMode::Auto => 2,
+    }
+}
+
+/// Checkpoint/restore: the crash-safe persistence layer for long stability
+/// runs. See [`crate::checkpoint`] for the container format; this block
+/// owns the *payload* — the complete dynamic state of a simulation.
+///
+/// The hard guarantee: a run interrupted at any point and resumed from its
+/// latest snapshot is **bit-for-bit identical** to the uninterrupted run —
+/// same queues, same metrics, same RNG draws, same trace events. Anything
+/// that influences a future step must therefore be captured: per-node
+/// queues and declarations, the link-activity mask, all four engine RNG
+/// streams, packet ages, accumulated metrics, the Auto-mode regime flag,
+/// and every component's private state (via the `save_state`/`load_state`
+/// hooks on the component traits). Per-step scratch (plans, stamps,
+/// arrival counts) is deliberately *not* saved: it is dead between steps,
+/// and restore resets it to the same state `build()` produces.
+impl<O: SimObserver> Simulation<O> {
+    /// Serializes the complete dynamic state into a checkpoint payload.
+    ///
+    /// Takes `&mut self` because component hooks may need mutation (e.g. a
+    /// buffered trace sink flushes before recording its byte count).
+    pub fn checkpoint_payload(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        // Fingerprint: enough of the static configuration to reject a
+        // snapshot from a different scenario with a precise error instead
+        // of silently producing garbage.
+        wire::put_u64(&mut out, self.spec.node_count() as u64);
+        wire::put_u64(&mut out, self.spec.graph.edge_count() as u64);
+        wire::put_u64(&mut out, self.spec.retention);
+        wire::put_u32(&mut out, mode_tag(self.mode));
+        wire::put_bool(&mut out, self.ages.is_some());
+        wire::put_str(&mut out, self.protocol.name());
+        wire::put_str(&mut out, self.injection.name());
+        wire::put_str(&mut out, self.loss.name());
+        wire::put_str(&mut out, self.topology.name());
+        wire::put_str(&mut out, self.declaration.name());
+        wire::put_str(&mut out, self.extraction.name());
+
+        // Dynamic engine state.
+        wire::put_u64(&mut out, self.t);
+        wire::put_bool(&mut out, self.auto_dense);
+        wire::put_u64_slice(&mut out, &self.queues);
+        wire::put_u64_slice(&mut out, &self.declared);
+        wire::put_bool_slice(&mut out, &self.active_edges);
+        wire::put_bytes(&mut out, &checkpoint::json_to_bytes(&self.metrics));
+        if let Some(ages) = &self.ages {
+            wire::put_bytes(&mut out, &checkpoint::json_to_bytes(&ages.stats));
+            // `staged` is drained within each step, so between steps only
+            // the per-node FIFOs carry information.
+            for fifo in &ages.fifos {
+                let flat: Vec<u64> = fifo.iter().copied().collect();
+                wire::put_u64_slice(&mut out, &flat);
+            }
+        }
+        for rng in [
+            &self.rng_injection,
+            &self.rng_loss,
+            &self.rng_topology,
+            &self.rng_policy,
+        ] {
+            for w in rng.state() {
+                wire::put_u64(&mut out, w);
+            }
+        }
+
+        // Component-private state, one length-prefixed blob each. The
+        // engine does not interpret these; empty is the stateless default.
+        let mut blob = Vec::new();
+        self.protocol.save_state(&mut blob);
+        wire::put_bytes(&mut out, &blob);
+        blob.clear();
+        self.injection.save_state(&mut blob);
+        wire::put_bytes(&mut out, &blob);
+        blob.clear();
+        self.loss.save_state(&mut blob);
+        wire::put_bytes(&mut out, &blob);
+        blob.clear();
+        self.topology.save_state(&mut blob);
+        wire::put_bytes(&mut out, &blob);
+        blob.clear();
+        self.declaration.save_state(&mut blob);
+        wire::put_bytes(&mut out, &blob);
+        blob.clear();
+        self.extraction.save_state(&mut blob);
+        wire::put_bytes(&mut out, &blob);
+        blob.clear();
+        self.observer.save_state(&mut blob);
+        wire::put_bytes(&mut out, &blob);
+        out
+    }
+
+    /// Restores state captured by [`Simulation::checkpoint_payload`].
+    ///
+    /// The simulation must have been built from the *same scenario* (same
+    /// topology, components, engine mode, seed). The fingerprint check
+    /// catches configuration drift with a [`LggError::CheckpointMismatch`]
+    /// naming the first disagreement; payload damage surfaces as
+    /// [`LggError::CheckpointCorrupt`]. On any error the simulation is
+    /// left in an unspecified state and must be discarded.
+    pub fn restore_checkpoint_payload(&mut self, payload: &[u8]) -> Result<(), LggError> {
+        let mut r = wire::Reader::new(payload);
+        let n = self.spec.node_count();
+        let m = self.spec.graph.edge_count();
+
+        let mismatch = |field: &str, found: String, expected: String| {
+            LggError::CheckpointMismatch {
+                reason: format!("{field}: snapshot has {found}, scenario has {expected}"),
+            }
+        };
+        let ck_n = r.u64()?;
+        if ck_n != n as u64 {
+            return Err(mismatch("node count", ck_n.to_string(), n.to_string()));
+        }
+        let ck_m = r.u64()?;
+        if ck_m != m as u64 {
+            return Err(mismatch("edge count", ck_m.to_string(), m.to_string()));
+        }
+        let ck_r = r.u64()?;
+        if ck_r != self.spec.retention {
+            return Err(mismatch(
+                "retention",
+                ck_r.to_string(),
+                self.spec.retention.to_string(),
+            ));
+        }
+        let ck_mode = r.u32()?;
+        if ck_mode != mode_tag(self.mode) {
+            return Err(mismatch(
+                "engine mode",
+                ck_mode.to_string(),
+                mode_tag(self.mode).to_string(),
+            ));
+        }
+        let ck_ages = r.bool_()?;
+        if ck_ages != self.ages.is_some() {
+            return Err(mismatch(
+                "age tracking",
+                ck_ages.to_string(),
+                self.ages.is_some().to_string(),
+            ));
+        }
+        for (field, expected) in [
+            ("protocol", self.protocol.name()),
+            ("injection", self.injection.name()),
+            ("loss model", self.loss.name()),
+            ("topology process", self.topology.name()),
+            ("declaration policy", self.declaration.name()),
+            ("extraction policy", self.extraction.name()),
+        ] {
+            let found = r.str_()?;
+            if found != expected {
+                return Err(mismatch(field, found.to_string(), expected.to_string()));
+            }
+        }
+
+        self.t = r.u64()?;
+        self.auto_dense = r.bool_()?;
+        let queues = r.u64_vec()?;
+        let declared = r.u64_vec()?;
+        let active_edges = r.bool_vec()?;
+        if queues.len() != n || declared.len() != n || active_edges.len() != m {
+            return Err(LggError::corrupt("state vector length mismatch"));
+        }
+        self.queues = queues;
+        self.declared = declared;
+        self.active_edges = active_edges;
+        self.metrics = checkpoint::json_from_bytes(r.bytes()?)?;
+        if let Some(ages) = &mut self.ages {
+            ages.stats = checkpoint::json_from_bytes(r.bytes()?)?;
+            for (v, fifo) in ages.fifos.iter_mut().enumerate() {
+                *fifo = VecDeque::from(r.u64_vec()?);
+                if fifo.len() as u64 != self.queues[v] {
+                    return Err(LggError::corrupt("age FIFO length disagrees with queue"));
+                }
+            }
+            ages.staged.iter_mut().for_each(Vec::clear);
+        }
+        for rng in [
+            &mut self.rng_injection,
+            &mut self.rng_loss,
+            &mut self.rng_topology,
+            &mut self.rng_policy,
+        ] {
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = r.u64()?;
+            }
+            *rng = StdRng::from_state(s);
+        }
+        self.protocol.load_state(r.bytes()?)?;
+        self.injection.load_state(r.bytes()?)?;
+        self.loss.load_state(r.bytes()?)?;
+        self.topology.load_state(r.bytes()?)?;
+        self.declaration.load_state(r.bytes()?)?;
+        self.extraction.load_state(r.bytes()?)?;
+        self.observer.load_state(r.bytes()?)?;
+        r.done()?;
+
+        // Reset per-step scratch to the exact state `build()` produces —
+        // the steppers establish their own invariants from here. Stamps
+        // restart at 0 safely: validation bumps `stamp` before comparing.
+        self.stamp = 0;
+        self.edge_stamp.iter_mut().for_each(|s| *s = 0);
+        self.budget_stamp.iter_mut().for_each(|s| *s = 0);
+        self.edge_used.iter_mut().for_each(|u| *u = false);
+        self.budget.iter_mut().for_each(|b| *b = 0);
+        self.plan.clear();
+        self.lost_mask.clear();
+        self.touched.clear();
+        self.node_scratch.clear();
+        self.prev_active_edges.clear();
+        // Rebuilds the active list, accumulators, zeroed arrivals, and the
+        // dirty-declaration list from the restored queues/declarations.
+        self.rebuild_sparse_state();
+        Ok(())
+    }
+
+    /// Writes one crash-safe snapshot of the current state into `dir` and
+    /// prunes old snapshots, keeping the configured count (default 2).
+    pub fn write_checkpoint_to(&mut self, dir: &Path) -> Result<PathBuf, LggError> {
+        let payload = self.checkpoint_payload();
+        let path = checkpoint::write_atomic(dir, self.t, &payload)?;
+        let keep = self.checkpoint.as_ref().map_or(2, |c| c.keep);
+        checkpoint::prune(dir, keep)?;
+        Ok(path)
+    }
+
+    /// Restores from the newest readable snapshot in `dir`, if any.
+    ///
+    /// Unreadable or corrupt snapshot files (e.g. a torn write from a
+    /// crash) are skipped in favor of older ones. Returns the restored
+    /// step count, or `None` when the directory holds no usable snapshot
+    /// (the caller starts from step 0).
+    pub fn resume_from_dir(&mut self, dir: &Path) -> Result<Option<u64>, LggError> {
+        match checkpoint::load_latest(dir)? {
+            Some((_, payload)) => {
+                self.restore_checkpoint_payload(&payload)?;
+                Ok(Some(self.t))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Installs (or removes) the periodic checkpoint policy used by
+    /// [`Simulation::run_until`].
+    pub fn set_checkpoint(&mut self, cfg: Option<CheckpointConfig>) {
+        self.checkpoint = cfg;
+    }
+
+    /// The installed checkpoint policy, if any.
+    pub fn checkpoint_config(&self) -> Option<&CheckpointConfig> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Runs until the step counter reaches `target` (absolute, not
+    /// relative — resume-friendly), writing a snapshot every
+    /// [`CheckpointConfig::every`] steps and once more at `target` when
+    /// checkpointing is configured. Without a checkpoint config this is
+    /// plain stepping and cannot fail.
+    pub fn run_until(&mut self, target: u64) -> Result<&Metrics, LggError> {
+        while self.t < target {
+            self.step();
+            let due = match &self.checkpoint {
+                Some(c) if self.t % c.every == 0 || self.t == target => Some(c.dir.clone()),
+                _ => None,
+            };
+            if let Some(dir) = due {
+                self.write_checkpoint_to(&dir)?;
+            }
+        }
+        Ok(&self.metrics)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1910,5 +2231,147 @@ mod tests {
         assert_eq!(sim.total_packets(), 7);
         sim.step(); // source injects 2 -> q0 = 5; sink empty
         assert_eq!(sim.network_state(), 41);
+    }
+
+    /// A stochastically loaded scenario exercising every checkpointed
+    /// subsystem: Bernoulli injection (RNG), i.i.d. loss (RNG), Markov
+    /// topology (RNG + private state), randomized declaration (policy
+    /// RNG), age tracking, and the given engine mode.
+    fn checkpoint_sim(mode: EngineMode) -> Simulation {
+        let spec = TrafficSpecBuilder::new(generators::cycle(12))
+            .source(0, 2)
+            .source(4, 1)
+            .sink(6, 2)
+            .sink(9, 1)
+            .retention(3)
+            .build()
+            .unwrap();
+        SimulationBuilder::new(spec, Box::new(TestGreedy))
+            .seed(0xDECAF)
+            .injection(Box::new(BernoulliInjection { p: 0.8 }))
+            .loss(Box::new(IidLoss { p: 0.05 }))
+            .topology(Box::new(crate::dynamic::MarkovTopology::new(
+                0.02,
+                0.5,
+                vec![],
+            )))
+            .declaration(Box::new(RandomBelowRetention))
+            .track_ages(true)
+            .engine_mode(mode)
+            .history(HistoryMode::EveryStep)
+            .build()
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_for_bit() {
+        for mode in [
+            EngineMode::SparseActive,
+            EngineMode::DenseReference,
+            EngineMode::Auto,
+        ] {
+            let mut reference = checkpoint_sim(mode);
+            reference.run(137);
+            let payload = reference.checkpoint_payload();
+            reference.run(200);
+
+            let mut resumed = checkpoint_sim(mode);
+            resumed.restore_checkpoint_payload(&payload).unwrap();
+            assert_eq!(resumed.time(), 137);
+            resumed.run(200);
+
+            assert_eq!(resumed.queues(), reference.queues(), "mode {mode:?}");
+            assert_eq!(
+                serde_json::to_string(resumed.metrics()).unwrap(),
+                serde_json::to_string(reference.metrics()).unwrap(),
+                "mode {mode:?}"
+            );
+            // The strongest form: the complete serialized states agree.
+            assert_eq!(
+                resumed.checkpoint_payload(),
+                reference.checkpoint_payload(),
+                "mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_scenario() {
+        let mut source = checkpoint_sim(EngineMode::SparseActive);
+        source.run(10);
+        let payload = source.checkpoint_payload();
+
+        // Different topology size.
+        let spec = TrafficSpecBuilder::new(generators::cycle(10))
+            .source(0, 1)
+            .sink(5, 1)
+            .build()
+            .unwrap();
+        let mut other = SimulationBuilder::new(spec, Box::new(TestGreedy)).build();
+        let err = other.restore_checkpoint_payload(&payload).unwrap_err();
+        assert!(matches!(err, LggError::CheckpointMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("node count"), "{err}");
+
+        // Same sizes, different components.
+        let mut other = checkpoint_sim(EngineMode::SparseActive);
+        let boxed: Box<dyn DeclarationPolicy> = Box::new(TruthfulDeclaration);
+        // Rebuild with a different declaration policy via the builder.
+        let spec = TrafficSpecBuilder::new(generators::cycle(12))
+            .source(0, 2)
+            .source(4, 1)
+            .sink(6, 2)
+            .sink(9, 1)
+            .retention(3)
+            .build()
+            .unwrap();
+        let mut different = SimulationBuilder::new(spec, Box::new(TestGreedy))
+            .injection(Box::new(BernoulliInjection { p: 0.8 }))
+            .loss(Box::new(IidLoss { p: 0.05 }))
+            .topology(Box::new(crate::dynamic::MarkovTopology::new(
+                0.02,
+                0.5,
+                vec![],
+            )))
+            .declaration(boxed)
+            .track_ages(true)
+            .build();
+        let err = different.restore_checkpoint_payload(&payload).unwrap_err();
+        assert!(matches!(err, LggError::CheckpointMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("declaration"), "{err}");
+
+        // Truncated payload is corrupt, not a crash.
+        let err = other
+            .restore_checkpoint_payload(&payload[..payload.len() / 2])
+            .unwrap_err();
+        assert!(matches!(err, LggError::CheckpointCorrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn run_until_writes_and_resumes_snapshots() {
+        let dir = std::env::temp_dir().join(format!(
+            "lgg_ckpt_engine_{}_{:x}",
+            std::process::id(),
+            0xFEEDu32
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut reference = checkpoint_sim(EngineMode::SparseActive);
+        reference.run(300);
+        let want = reference.checkpoint_payload();
+
+        let mut first = checkpoint_sim(EngineMode::SparseActive);
+        first.set_checkpoint(Some(CheckpointConfig::new(50, &dir)));
+        assert_eq!(first.checkpoint_config().unwrap().every, 50);
+        first.run_until(140).unwrap();
+        // 140 is not a multiple of 50, but run_until snapshots the final
+        // step too, so resume starts exactly at 140.
+        drop(first);
+
+        let mut second = checkpoint_sim(EngineMode::SparseActive);
+        second.set_checkpoint(Some(CheckpointConfig::new(50, &dir)));
+        assert_eq!(second.resume_from_dir(&dir).unwrap(), Some(140));
+        second.run_until(300).unwrap();
+        assert_eq!(second.checkpoint_payload(), want);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

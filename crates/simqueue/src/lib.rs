@@ -45,19 +45,23 @@ mod metrics;
 mod rng;
 mod stability;
 
+pub mod checkpoint;
 pub mod declare;
 pub mod dynamic;
+pub mod error;
 pub mod injection;
 pub mod loss;
 pub mod protocol;
 pub mod trace;
 
 pub use ages::LatencyStats;
+pub use checkpoint::CheckpointConfig;
 pub use declare::{DeclarationPolicy, TruthfulDeclaration};
 pub use engine::{
-    EngineMode, ExtractionPolicy, LazyExtraction, MaxExtraction, Simulation, SimulationBuilder,
-    AUTO_CHECK_INTERVAL, AUTO_DENSE_ABOVE, AUTO_SPARSE_BELOW,
+    EngineMode, ExtractionPolicy, LazyExtraction, MaxExtraction, SimOverrides, Simulation,
+    SimulationBuilder, AUTO_CHECK_INTERVAL, AUTO_DENSE_ABOVE, AUTO_SPARSE_BELOW,
 };
+pub use error::LggError;
 pub use metrics::{HistoryMode, Metrics, Snapshot};
 pub use protocol::{NetView, RoutingProtocol, Transmission};
 pub use rng::split_seed;
@@ -65,3 +69,19 @@ pub use trace::{
     JsonlSink, NoopObserver, RingRecorder, SimObserver, TraceEvent, WindowAggregator, WindowStats,
 };
 pub use stability::{assess_stability, StabilityReport, StabilityVerdict};
+
+/// The stable import surface in one line: `use simqueue::prelude::*`.
+///
+/// Everything here is what downstream code (CLI, experiments, external
+/// users) needs for the common path — building a simulation, stepping it,
+/// observing it, checkpointing it, and handling its errors. Items outside
+/// the prelude are still public but are considered advanced surface.
+pub mod prelude {
+    pub use crate::checkpoint::CheckpointConfig;
+    pub use crate::error::LggError;
+    pub use crate::{
+        assess_stability, EngineMode, HistoryMode, Metrics, NetView, RoutingProtocol,
+        SimObserver, SimOverrides, Simulation, SimulationBuilder, StabilityVerdict, TraceEvent,
+        Transmission,
+    };
+}

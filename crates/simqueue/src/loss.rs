@@ -11,6 +11,8 @@ use mgraph::MultiGraph;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::checkpoint::wire;
+use crate::error::LggError;
 use crate::protocol::Transmission;
 
 /// Decides, for the whole batch of planned transmissions of one step,
@@ -33,6 +35,16 @@ pub trait LossModel {
 
     /// Resets internal state (channel Markov states etc.).
     fn reset(&mut self) {}
+
+    /// Appends the model's evolving state to `out` for a checkpoint (see
+    /// [`crate::checkpoint`]). Stateless models — the default — write
+    /// nothing; per-call scratch buffers do not count as state.
+    fn save_state(&mut self, _out: &mut Vec<u8>) {}
+
+    /// Restores state captured by [`LossModel::save_state`].
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), LggError> {
+        Ok(())
+    }
 }
 
 /// The lossless channel — the hypothesis regime of Conjecture 1.
@@ -197,6 +209,16 @@ impl LossModel for GilbertElliottLoss {
     fn reset(&mut self) {
         self.bad.clear();
     }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        wire::put_bool_slice(out, &self.bad);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), LggError> {
+        let mut r = wire::Reader::new(bytes);
+        self.bad = r.bool_vec()?;
+        r.done()
+    }
 }
 
 /// A budgeted adversary: each step it may kill up to `budget` packets and
@@ -327,6 +349,34 @@ mod tests {
         assert!(lost.iter().all(|&l| l));
         model.reset();
         assert!(model.bad.is_empty());
+    }
+
+    #[test]
+    fn gilbert_elliott_state_round_trips() {
+        let g = generators::complete(5);
+        let t = txs(&g);
+        let mut model = GilbertElliottLoss::new(0.05, 0.9, 0.3, 0.3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for step in 0..17 {
+            let mut lost = vec![false; t.len()];
+            model.apply(&g, &t, &[0; 5], step, &mut rng, &mut lost);
+        }
+        let mut blob = Vec::new();
+        model.save_state(&mut blob);
+        let mut copy = GilbertElliottLoss::new(0.05, 0.9, 0.3, 0.3);
+        copy.load_state(&blob).unwrap();
+        assert_eq!(model.bad, copy.bad);
+        // With equal channel state and equal RNG stream, the models stay
+        // in lockstep.
+        let mut ra = StdRng::seed_from_u64(99);
+        let mut rb = StdRng::seed_from_u64(99);
+        for step in 17..40 {
+            let mut la = vec![false; t.len()];
+            let mut lb = vec![false; t.len()];
+            model.apply(&g, &t, &[0; 5], step, &mut ra, &mut la);
+            copy.apply(&g, &t, &[0; 5], step, &mut rb, &mut lb);
+            assert_eq!(la, lb);
+        }
     }
 
     #[test]

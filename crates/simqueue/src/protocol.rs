@@ -86,6 +86,19 @@ pub trait RoutingProtocol {
 
     /// Resets internal state for a fresh run (default: nothing).
     fn reset(&mut self) {}
+
+    /// Appends the protocol's evolving state to `out` for a checkpoint
+    /// (see [`crate::checkpoint`], and [`crate::checkpoint::wire`] for the
+    /// encoding helpers). Stateless protocols — the default — write
+    /// nothing. Protocols carrying round-robin offsets, private RNGs,
+    /// learned heights etc. must write all of it, or a resumed run
+    /// diverges from the uninterrupted one.
+    fn save_state(&mut self, _out: &mut Vec<u8>) {}
+
+    /// Restores state captured by [`RoutingProtocol::save_state`].
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), crate::error::LggError> {
+        Ok(())
+    }
 }
 
 /// The trivial protocol that never transmits — useful to test that pure

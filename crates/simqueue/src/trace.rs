@@ -194,6 +194,19 @@ pub trait SimObserver {
     /// windows. The engine never calls this itself (it cannot know when
     /// the caller stops stepping); run drivers do.
     fn finish(&mut self) {}
+
+    /// Appends the observer's evolving state to `out` for a checkpoint
+    /// (see [`crate::checkpoint`]). Observers that feed persisted
+    /// artifacts (sinks, aggregators) must save enough to continue the
+    /// artifact seamlessly after a resume; the default writes nothing.
+    /// Implementations backed by buffered I/O should flush here so
+    /// whatever the saved counters describe is durable.
+    fn save_state(&mut self, _out: &mut Vec<u8>) {}
+
+    /// Restores state captured by [`SimObserver::save_state`].
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), crate::error::LggError> {
+        Ok(())
+    }
 }
 
 /// The default observer: statically disabled, zero state, zero cost.
@@ -225,12 +238,20 @@ impl SimObserver for Box<dyn SimObserver> {
     fn finish(&mut self) {
         (**self).finish()
     }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        (**self).save_state(out)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::error::LggError> {
+        (**self).load_state(bytes)
+    }
 }
 
 /// In-memory recorder keeping the most recent `capacity` events — the
 /// "flight recorder" for tests and post-mortem debugging of instability
 /// onsets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RingRecorder {
     capacity: usize,
     buf: VecDeque<TraceEvent>,
@@ -283,6 +304,17 @@ impl SimObserver for RingRecorder {
         self.buf.push_back(ev);
         self.seen += 1;
     }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        let json = crate::checkpoint::json_to_bytes(self);
+        crate::checkpoint::wire::put_bytes(out, &json);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::error::LggError> {
+        let mut r = crate::checkpoint::wire::Reader::new(bytes);
+        *self = crate::checkpoint::json_from_bytes(r.bytes()?)?;
+        r.done()
+    }
 }
 
 /// Streams events as JSON Lines — one object per event, internally tagged
@@ -299,6 +331,7 @@ pub struct JsonlSink<W: Write> {
     /// Keep one [`TraceEvent::Sample`] every this many steps (1 = all).
     sample_stride: u64,
     lines: u64,
+    bytes: u64,
     error: Option<io::Error>,
 }
 
@@ -309,6 +342,7 @@ impl<W: Write> JsonlSink<W> {
             writer,
             sample_stride: 1,
             lines: 0,
+            bytes: 0,
             error: None,
         }
     }
@@ -326,9 +360,23 @@ impl<W: Write> JsonlSink<W> {
         self.lines
     }
 
+    /// Bytes successfully written so far (including newlines). After a
+    /// checkpoint restore this is the authoritative length of the trace
+    /// artifact: the resume driver truncates the file here so the
+    /// continued stream is byte-identical to an uninterrupted run.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
     /// Takes the first write error, if any occurred.
     pub fn take_error(&mut self) -> Option<io::Error> {
         self.error.take()
+    }
+
+    /// The inner writer (resume drivers truncate/seek the underlying
+    /// file through this).
+    pub fn writer_mut(&mut self) -> &mut W {
+        &mut self.writer
     }
 
     /// Unwraps the inner writer.
@@ -357,6 +405,7 @@ impl<W: Write> SimObserver for JsonlSink<W> {
             return;
         }
         self.lines += 1;
+        self.bytes += line.len() as u64 + 1;
     }
 
     fn finish(&mut self) {
@@ -365,6 +414,25 @@ impl<W: Write> SimObserver for JsonlSink<W> {
                 self.error = Some(e);
             }
         }
+    }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        // Flush first: the counters below describe durable bytes, and the
+        // resume driver truncates the artifact to exactly this length.
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+        crate::checkpoint::wire::put_u64(out, self.lines);
+        crate::checkpoint::wire::put_u64(out, self.bytes);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::error::LggError> {
+        let mut r = crate::checkpoint::wire::Reader::new(bytes);
+        self.lines = r.u64()?;
+        self.bytes = r.u64()?;
+        r.done()
     }
 }
 
@@ -417,7 +485,7 @@ pub struct WindowStats {
 /// the stability time-series the experiments driver publishes next to
 /// its end-of-run verdicts (saturation plateaus and drift slopes are
 /// window phenomena, invisible in run totals).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WindowAggregator {
     size: u64,
     closed: Vec<WindowStats>,
@@ -425,7 +493,7 @@ pub struct WindowAggregator {
 }
 
 /// Open-window accumulator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Accum {
     index: u64,
     t_end: u64,
@@ -588,6 +656,17 @@ impl SimObserver for WindowAggregator {
         if let Some(a) = self.cur.take() {
             self.closed.push(a.close(self.size));
         }
+    }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        let json = crate::checkpoint::json_to_bytes(self);
+        crate::checkpoint::wire::put_bytes(out, &json);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::error::LggError> {
+        let mut r = crate::checkpoint::wire::Reader::new(bytes);
+        *self = crate::checkpoint::json_from_bytes(r.bytes()?)?;
+        r.done()
     }
 }
 

@@ -1,0 +1,223 @@
+//! Property tests for the checkpoint/restore subsystem.
+//!
+//! Two guarantees are exercised from *outside* the crate (through the
+//! same trait surface downstream protocols use):
+//!
+//! 1. **State identity** — saving at an arbitrary step and restoring
+//!    into a freshly built simulation yields a run that is bit-for-bit
+//!    the uninterrupted one, across engine modes, loss, dynamic
+//!    topology, lying declarations and a stateful external protocol.
+//! 2. **Crash safety** — a truncated in-flight temp file or a corrupted
+//!    newer snapshot never poisons resume: the loader falls back to the
+//!    newest *intact* snapshot.
+
+use mgraph::generators;
+use netmodel::{TrafficSpec, TrafficSpecBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simqueue::checkpoint::{self, wire};
+use simqueue::declare::RandomBelowRetention;
+use simqueue::dynamic::MarkovTopology;
+use simqueue::injection::BernoulliInjection;
+use simqueue::loss::IidLoss;
+use simqueue::{
+    EngineMode, HistoryMode, LggError, NetView, RoutingProtocol, Simulation, SimulationBuilder,
+    Transmission,
+};
+
+/// A downstream-style protocol with *internal* RNG state: routes greedily
+/// but breaks budget ties with its own xoshiro stream. If the checkpoint
+/// skipped the protocol's save_state/load_state hooks, the resumed run
+/// would draw a different coin sequence and diverge — which is exactly
+/// what the identity property would catch.
+struct CoinGreedy {
+    rng: StdRng,
+}
+
+impl CoinGreedy {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RoutingProtocol for CoinGreedy {
+    fn name(&self) -> &'static str {
+        "coin-greedy"
+    }
+
+    fn plan(&mut self, view: &NetView<'_>, out: &mut Vec<Transmission>) {
+        for &u in view.active_nodes {
+            let mut budget = view.queue_of(u);
+            for link in view.graph.incident_links(u) {
+                if budget == 0 {
+                    break;
+                }
+                if view.is_active(link.edge)
+                    && view.declared_of(link.neighbor) < view.declared_of(u)
+                    && self.rng.random_range(0..4u32) != 0
+                {
+                    budget -= 1;
+                    out.push(Transmission {
+                        edge: link.edge,
+                        from: u,
+                    });
+                }
+            }
+        }
+    }
+
+    fn save_state(&mut self, out: &mut Vec<u8>) {
+        for w in self.rng.state() {
+            wire::put_u64(out, w);
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), LggError> {
+        let mut r = wire::Reader::new(bytes);
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        self.rng = StdRng::from_state(state);
+        r.done()
+    }
+}
+
+fn busy_spec(seed: u64, n: usize) -> TrafficSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::connected_random(n, n / 2, &mut rng);
+    TrafficSpecBuilder::new(g)
+        .retention(3)
+        .source(0, 2)
+        .generalized(1, 1, 1)
+        .sink((n - 1) as u32, 3)
+        .build()
+        .unwrap()
+}
+
+fn build_sim(seed: u64, n: usize, mode: EngineMode) -> Simulation {
+    SimulationBuilder::new(busy_spec(seed, n), Box::new(CoinGreedy::new(seed ^ 0xC01)))
+        .seed(seed)
+        .engine_mode(mode)
+        .injection(Box::new(BernoulliInjection::new(0.7)))
+        .loss(Box::new(IidLoss::new(0.05)))
+        .topology(Box::new(MarkovTopology::new(0.03, 0.5, vec![])))
+        .declaration(Box::new(RandomBelowRetention))
+        .track_ages(true)
+        .history(HistoryMode::EveryStep)
+        .build()
+}
+
+fn metrics_json<O: simqueue::SimObserver>(sim: &Simulation<O>) -> String {
+    serde_json::to_string(sim.metrics()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Save at an arbitrary step, restore into a *fresh* build, run both
+    /// to the horizon: queues, metrics and a second snapshot agree
+    /// byte-for-byte, in every engine mode.
+    #[test]
+    fn save_restore_identity_at_arbitrary_step(
+        seed in 0u64..200,
+        n in 6usize..14,
+        cut in 1u64..150,
+        extra in 1u64..100,
+        mode_ix in 0usize..3,
+    ) {
+        let mode = [EngineMode::SparseActive, EngineMode::DenseReference, EngineMode::Auto][mode_ix];
+        let mut reference = build_sim(seed, n, mode);
+        reference.run(cut);
+        let payload = reference.checkpoint_payload();
+
+        let mut restored = build_sim(seed, n, mode);
+        restored.restore_checkpoint_payload(&payload).unwrap();
+        prop_assert_eq!(restored.time(), cut);
+        prop_assert_eq!(restored.queues(), reference.queues());
+
+        reference.run(extra);
+        restored.run(extra);
+        prop_assert_eq!(restored.queues(), reference.queues());
+        prop_assert_eq!(metrics_json(&restored), metrics_json(&reference));
+        prop_assert_eq!(restored.checkpoint_payload(), reference.checkpoint_payload());
+    }
+
+    /// A snapshot from scenario A never restores into scenario B: any
+    /// difference in topology size or component wiring is a typed
+    /// CheckpointMismatch, and the target simulation keeps running.
+    #[test]
+    fn cross_scenario_restore_is_rejected(
+        seed in 0u64..100,
+        n in 6usize..12,
+        cut in 1u64..80,
+    ) {
+        let mut source = build_sim(seed, n, EngineMode::Auto);
+        source.run(cut);
+        let payload = source.checkpoint_payload();
+        // One node bigger: fingerprint mismatch, typed and descriptive.
+        let mut other = build_sim(seed, n + 1, EngineMode::Auto);
+        let err = other.restore_checkpoint_payload(&payload).unwrap_err();
+        prop_assert!(matches!(err, LggError::CheckpointMismatch { .. }), "{}", err);
+        // The rejected target is still usable.
+        other.run(5);
+        prop_assert_eq!(other.time(), 5);
+    }
+}
+
+/// Crash-safety: interrupted writes and corrupted files must never mask
+/// the newest intact snapshot.
+#[test]
+fn truncated_or_corrupt_snapshots_fall_back_to_last_good() {
+    let dir = std::env::temp_dir().join(format!("lgg_ckpt_crash_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut sim = build_sim(42, 9, EngineMode::SparseActive);
+    sim.run(60);
+    let good_t = sim.time();
+    let good_path = sim.write_checkpoint_to(&dir).unwrap();
+    let good_bytes = std::fs::read(&good_path).unwrap();
+
+    // A crash mid-write leaves a truncated in-flight temp file…
+    std::fs::write(dir.join("ckpt_inflight.tmp"), &good_bytes[..good_bytes.len() / 2]).unwrap();
+    // …and suppose an apparently *newer* snapshot got bit-flipped on disk.
+    sim.run(40);
+    let newer_path = sim.write_checkpoint_to(&dir).unwrap();
+    let mut newer_bytes = std::fs::read(&newer_path).unwrap();
+    let mid = newer_bytes.len() / 2;
+    newer_bytes[mid] ^= 0xFF;
+    std::fs::write(&newer_path, &newer_bytes).unwrap();
+
+    // The loader must skip both damaged artifacts and land on the good one.
+    let (t, payload) = checkpoint::load_latest(&dir).unwrap().expect("good snapshot");
+    assert_eq!(t, good_t);
+
+    let mut resumed = build_sim(42, 9, EngineMode::SparseActive);
+    resumed.restore_checkpoint_payload(&payload).unwrap();
+    assert_eq!(resumed.time(), good_t);
+
+    // Direct read of the damaged file is the typed corrupt error.
+    let err = checkpoint::read_snapshot(&newer_path).unwrap_err();
+    assert!(matches!(err, LggError::CheckpointCorrupt { .. }), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A snapshot written by one engine mode restores into another: the
+/// payload carries the *regime*, not the mode tag of the builder — the
+/// fingerprint pins the configured mode, so same-mode is required, but
+/// Auto runs snapshot and restore across its internal regime switches.
+#[test]
+fn auto_mode_snapshot_survives_regime_switches() {
+    // Long enough for Auto's 64-step check interval to have fired.
+    let mut reference = build_sim(7, 10, EngineMode::Auto);
+    reference.run(200);
+    let payload = reference.checkpoint_payload();
+
+    let mut restored = build_sim(7, 10, EngineMode::Auto);
+    restored.restore_checkpoint_payload(&payload).unwrap();
+    reference.run(200);
+    restored.run(200);
+    assert_eq!(restored.queues(), reference.queues());
+    assert_eq!(restored.checkpoint_payload(), reference.checkpoint_payload());
+}

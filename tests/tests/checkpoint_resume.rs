@@ -1,0 +1,195 @@
+//! End-to-end resume fidelity: an interrupted-then-resumed run must be
+//! bit-for-bit identical to the uninterrupted one — same summary, same
+//! trace bytes — and that equivalence must hold at every pool width.
+//!
+//! This drives the same `run_with_checkpoints` entry point the `lgg-sim
+//! run` binary uses, so the CLI surface (checkpoint period, directory,
+//! resume, trace truncation-on-resume) is what gets certified, not just
+//! the engine-level payload round trip (which `simqueue`'s own property
+//! tests already cover). The thread-count legs mirror `determinism.rs`:
+//! CI re-runs this file under `LGG_THREADS=1` and `LGG_THREADS=4` too.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+use lgg_cli::{run_with_checkpoints, RunConfig};
+
+/// Serializes access to the process-wide thread-count override.
+fn override_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Runs `f` with the pool pinned to `threads` workers, restoring the
+/// default (env/cores) resolution afterwards.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = override_lock().lock().expect("override lock");
+    parpool::set_thread_override(Some(threads));
+    let r = f();
+    parpool::set_thread_override(None);
+    r
+}
+
+const WIDE: usize = 4;
+
+/// A busy scenario: loss, rotating outages, a lying R-generalized relay
+/// and lazy extraction, so every checkpointed phase state matters.
+const SCENARIO: &str = r#"{
+    "topology": {"kind": "grid2d", "rows": 4, "cols": 4},
+    "sources": [{"node": 0, "rate": 2}],
+    "sinks": [{"node": 15, "rate": 3}],
+    "generalized": [{"node": 5, "in": 1, "out": 0}],
+    "retention": 4,
+    "declaration": "full-retention",
+    "extraction": "lazy",
+    "protocol": "lgg",
+    "injection": {"kind": "bernoulli", "p": 0.8},
+    "loss": {"kind": "iid", "p": 0.1},
+    "dynamics": {"kind": "rotating", "k": 2},
+    "steps": 600,
+    "seed": 99,
+    "track_ages": true
+}"#;
+
+struct Workspace {
+    base: PathBuf,
+    scenario: String,
+}
+
+impl Workspace {
+    fn new(tag: &str) -> Self {
+        let base = std::env::temp_dir().join(format!(
+            "lgg_resume_e2e_{}_{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&base);
+        fs::create_dir_all(&base).expect("temp workspace");
+        let scenario = base.join("scenario.json");
+        fs::write(&scenario, SCENARIO).expect("write scenario");
+        Workspace {
+            scenario: scenario.to_string_lossy().into_owned(),
+            base,
+        }
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.base.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Workspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.base);
+    }
+}
+
+/// Full run vs. interrupted-at-`cut`-then-resumed run, byte-compared.
+fn assert_resume_is_bit_for_bit(tag: &str) {
+    let ws = Workspace::new(tag);
+
+    let full = run_with_checkpoints(&RunConfig {
+        scenario_path: ws.scenario.clone(),
+        trace: Some(ws.path("full.jsonl")),
+        sample_stride: 1,
+        ..RunConfig::default()
+    })
+    .expect("uninterrupted run");
+    assert_eq!(full.steps, 600);
+
+    let part = run_with_checkpoints(&RunConfig {
+        scenario_path: ws.scenario.clone(),
+        steps: Some(250),
+        checkpoint_every: Some(100),
+        checkpoint_dir: Some(ws.path("ckpts")),
+        trace: Some(ws.path("part.jsonl")),
+        sample_stride: 1,
+        ..RunConfig::default()
+    })
+    .expect("interrupted run");
+    assert_eq!(part.steps, 250);
+
+    let resumed = run_with_checkpoints(&RunConfig {
+        scenario_path: ws.scenario.clone(),
+        checkpoint_every: Some(100),
+        checkpoint_dir: Some(ws.path("ckpts")),
+        resume: true,
+        trace: Some(ws.path("part.jsonl")),
+        sample_stride: 1,
+        ..RunConfig::default()
+    })
+    .expect("resumed run");
+    assert_eq!(resumed.resumed_from, Some(250));
+    assert_eq!(resumed.steps, 600);
+    assert_eq!(resumed.injected, full.injected);
+    assert_eq!(resumed.delivered, full.delivered);
+    assert_eq!(resumed.lost, full.lost);
+    assert_eq!(resumed.final_pt, full.final_pt);
+    assert_eq!(resumed.sup_pt, full.sup_pt);
+
+    let a = fs::read(ws.path("full.jsonl")).expect("full trace");
+    let b = fs::read(ws.path("part.jsonl")).expect("resumed trace");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "resumed trace bytes diverged from uninterrupted run");
+}
+
+#[test]
+fn resume_is_bit_for_bit_single_thread() {
+    with_threads(1, || assert_resume_is_bit_for_bit("narrow"));
+}
+
+#[test]
+fn resume_is_bit_for_bit_wide_pool() {
+    with_threads(WIDE, || assert_resume_is_bit_for_bit("wide"));
+}
+
+#[test]
+fn resume_crosses_thread_counts() {
+    // A checkpoint written under one pool width must resume under
+    // another with the same bytes: snapshots carry no thread-dependent
+    // state. Run the interrupted half at 1 thread and finish at WIDE,
+    // comparing against an uninterrupted single-thread reference.
+    let ws = Workspace::new("cross");
+
+    let full = with_threads(1, || {
+        run_with_checkpoints(&RunConfig {
+            scenario_path: ws.scenario.clone(),
+            trace: Some(ws.path("full.jsonl")),
+            sample_stride: 1,
+            ..RunConfig::default()
+        })
+        .expect("uninterrupted run")
+    });
+
+    with_threads(1, || {
+        run_with_checkpoints(&RunConfig {
+            scenario_path: ws.scenario.clone(),
+            steps: Some(300),
+            checkpoint_every: Some(150),
+            checkpoint_dir: Some(ws.path("ckpts")),
+            trace: Some(ws.path("part.jsonl")),
+            sample_stride: 1,
+            ..RunConfig::default()
+        })
+        .expect("interrupted run")
+    });
+
+    let resumed = with_threads(WIDE, || {
+        run_with_checkpoints(&RunConfig {
+            scenario_path: ws.scenario.clone(),
+            checkpoint_every: Some(150),
+            checkpoint_dir: Some(ws.path("ckpts")),
+            resume: true,
+            trace: Some(ws.path("part.jsonl")),
+            sample_stride: 1,
+            ..RunConfig::default()
+        })
+        .expect("resumed run")
+    });
+    assert_eq!(resumed.resumed_from, Some(300));
+    assert_eq!(resumed.sup_pt, full.sup_pt);
+
+    let a = fs::read(ws.path("full.jsonl")).expect("full trace");
+    let b = fs::read(ws.path("part.jsonl")).expect("resumed trace");
+    assert_eq!(a, b, "trace bytes diverged across thread counts");
+}
