@@ -32,7 +32,8 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use simqueue::{
-    EngineMode, HistoryMode, NoopObserver, RingRecorder, SimObserver, WindowAggregator,
+    EngineMode, GuardConfig, HistoryMode, InvariantGuard, NoopObserver, RingRecorder, SimObserver,
+    WindowAggregator,
 };
 
 use crate::sweep::SweepReport;
@@ -95,6 +96,33 @@ pub struct BenchReport {
     /// files written before the telemetry subsystem existed.
     #[serde(default)]
     pub observer: Option<ObserverBench>,
+    /// Invariant-guard overhead numbers; absent in files written before
+    /// the guard existed.
+    #[serde(default)]
+    pub guard: Option<GuardBench>,
+}
+
+/// Invariant-guard overhead on one case: the unguarded production path
+/// against a fully-checking [`simqueue::InvariantGuard`], same engine and
+/// step count for both legs.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GuardBench {
+    /// Suite case the overhead is measured on.
+    pub case: String,
+    /// Engine mode used for both legs (kebab-case).
+    pub engine: String,
+    /// Steps per timed repetition (never scaled by `--quick`, same
+    /// reasoning as [`ObserverBench::steps`]).
+    pub steps: u64,
+    /// The unguarded production path (`Scenario::build`, telemetry off) —
+    /// the leg the 2% regression gate watches; the guard must cost
+    /// nothing when it is not installed.
+    pub off: EngineThroughput,
+    /// All hard invariant checks live (conservation, link capacity,
+    /// declaration legality) on a [`simqueue::NoopObserver`] inner.
+    pub guarded: EngineThroughput,
+    /// `guarded.steps_per_sec / off.steps_per_sec`.
+    pub guarded_vs_off: f64,
 }
 
 /// Observer overhead on one case: the production disabled path against
@@ -311,6 +339,47 @@ pub fn observer_bench() -> Result<ObserverBench, LggError> {
     })
 }
 
+/// Measures invariant-guard overhead on the sparse `grid-16x16-steady`
+/// case: the unguarded production build path against the same scenario
+/// with every hard check live. The guard sees every per-step event (it
+/// wraps the observer boundary before any thinning), so this is its
+/// worst-case honest price; the off leg doubles as the number the 2%
+/// regression gate compares against its recorded baseline.
+pub fn guard_bench() -> Result<GuardBench, LggError> {
+    let (name, sc, steps) = synthetic_cases(false)
+        .into_iter()
+        .next()
+        .expect("fixed suite is non-empty");
+    debug_assert_eq!(name, "grid-16x16-steady");
+
+    let spec = sc.traffic_spec()?;
+    let size = (spec.graph.node_count() + spec.graph.edge_count()) as f64;
+    let throughput = |ns: f64| EngineThroughput {
+        steps_per_sec: round(steps as f64 / (ns / 1e9), 1),
+        ns_per_node_edge_step: round(ns / (steps as f64 * size), 3),
+    };
+    let mode = EngineMode::SparseActive;
+
+    eprintln!("bench: guard overhead on {name} ({steps} steps x{REPS} reps x2 legs)...");
+    let off = throughput(time_runs(|| sc.build(bench_overrides(mode)), steps)?);
+    let guarded = throughput(time_runs(
+        || {
+            let guard = InvariantGuard::new(&sc.traffic_spec()?, GuardConfig::checks());
+            sc.build_with_observer(bench_overrides(mode), guard)
+        },
+        steps,
+    )?);
+
+    Ok(GuardBench {
+        case: name,
+        engine: "sparse-active".into(),
+        steps,
+        off,
+        guarded,
+        guarded_vs_off: round(guarded.steps_per_sec / off.steps_per_sec, 3),
+    })
+}
+
 /// CI gate: errors when the disabled-observer throughput in `report`
 /// falls more than 2% below the recorded baseline. The reference is the
 /// baseline file's own `observer.off` leg when present, else its
@@ -379,11 +448,13 @@ pub fn run_bench_suite(scenario_dir: &str, quick: bool) -> Result<BenchReport, L
         cases.push(run_case(name, &sc, steps)?);
     }
     let observer = Some(observer_bench()?);
+    let guard = Some(guard_bench()?);
     Ok(BenchReport {
         generated_by: "lgg-sim bench (fixed suite; schema documented in DESIGN.md)".into(),
         cases,
         sweep: None,
         observer,
+        guard,
     })
 }
 
@@ -444,6 +515,15 @@ mod tests {
         let ring_vs_off = obs.ring.steps_per_sec / obs.off.steps_per_sec;
         assert!((obs.ring_vs_off - ring_vs_off).abs() <= 0.0005 + 1e-9);
 
+        // So is the guard-overhead leg.
+        let g = report.guard.as_ref().expect("guard section");
+        assert_eq!(g.case, "grid-16x16-steady");
+        assert_eq!(g.steps, 50_000);
+        assert!(g.off.steps_per_sec > 0.0);
+        assert!(g.guarded.steps_per_sec > 0.0);
+        let guarded_vs_off = g.guarded.steps_per_sec / g.off.steps_per_sec;
+        assert!((g.guarded_vs_off - guarded_vs_off).abs() <= 0.0005 + 1e-9);
+
         // The report must survive a JSON round trip unchanged — this is
         // the schema contract `lgg-sim sweep` relies on when it edits the
         // file in place.
@@ -488,6 +568,7 @@ mod tests {
             cases,
             sweep: None,
             observer,
+            guard: None,
         }
     }
 

@@ -22,9 +22,15 @@ use std::fs::{self, OpenOptions};
 use std::io::{BufWriter, Seek, SeekFrom};
 use std::path::PathBuf;
 
-use simqueue::{CheckpointConfig, JsonlSink, LggError};
+use simqueue::{
+    CheckpointConfig, FaultSpec, GuardConfig, GuardOutcome, InvariantGuard, JsonlSink, LggError,
+};
 
-use crate::{Scenario, ScenarioObserver, SimOverrides};
+use crate::chaos::{write_reproducer, Reproducer};
+use crate::{
+    DeclarationSpec, DynamicsSpec, InjectionSpec, LossSpec, ProtocolSpec, Scenario,
+    ScenarioObserver, SimOverrides,
+};
 
 /// Configuration for [`run_with_checkpoints`] (the `lgg-sim run`
 /// subcommand), parsed from its flags.
@@ -48,6 +54,21 @@ pub struct RunConfig {
     pub sample_stride: u64,
     /// Crash hard (`abort()`, skipping flushes) after this step.
     pub kill_after: Option<u64>,
+    /// Run under the invariant guard (`--guard`): conservation, link
+    /// capacity, declaration legality, online divergence, and — on
+    /// core-model unsaturated networks — Lemma 1's `P_t` bound.
+    pub guard: bool,
+    /// Where a guard abort dumps its reproducer and checkpoint
+    /// (`--guard-dump`, default `results/chaos`).
+    pub guard_dump: Option<String>,
+    /// Plant a synthetic conservation fault at this step
+    /// (`--inject-fault`, test hook for the guard pipeline).
+    pub inject_fault: Option<u64>,
+    /// Guard backlog budget: abort gracefully with a partial verdict when
+    /// total stored packets exceed this (`--max-backlog`).
+    pub max_backlog: Option<u64>,
+    /// Guard wall-clock budget in milliseconds (`--max-wall-ms`).
+    pub max_wall_ms: Option<u64>,
 }
 
 /// What a completed `lgg-sim run` reports.
@@ -100,6 +121,22 @@ pub fn run_with_checkpoints(cfg: &RunConfig) -> Result<RunSummary, LggError> {
         ));
     }
 
+    if !cfg.guard
+        && (cfg.guard_dump.is_some()
+            || cfg.inject_fault.is_some()
+            || cfg.max_backlog.is_some()
+            || cfg.max_wall_ms.is_some())
+    {
+        return Err(LggError::scenario(
+            "--guard-dump/--inject-fault/--max-backlog/--max-wall-ms require --guard",
+        ));
+    }
+    if cfg.guard && (cfg.resume || cfg.kill_after.is_some()) {
+        return Err(LggError::scenario(
+            "--guard is incompatible with --resume and --kill-after",
+        ));
+    }
+
     let text = fs::read_to_string(&cfg.scenario_path)
         .map_err(|e| LggError::io(format!("cannot read {}", cfg.scenario_path), e))?;
     let sc = Scenario::from_json(&text)?;
@@ -125,6 +162,10 @@ pub fn run_with_checkpoints(cfg: &RunConfig) -> Result<RunSummary, LggError> {
         }
         None => sc.telemetry.build()?,
     };
+
+    if cfg.guard {
+        return run_guarded_cmd(cfg, &sc, target, every, ckpt_dir, observer);
+    }
 
     let mut sim = sc.build_with_observer(
         SimOverrides {
@@ -194,6 +235,137 @@ pub fn run_with_checkpoints(cfg: &RunConfig) -> Result<RunSummary, LggError> {
         }
     }
     Ok(summary)
+}
+
+/// Lemma 1's `P_t ≤ nY² + 5nΔ²` bound holds for the *core* model only —
+/// pure LGG, exact injection, no loss, static topology, truthful
+/// declarations — and only on unsaturated networks. Returns the bound
+/// when every precondition holds, so the guard can enforce it as a hard
+/// invariant; anything else gets `None` (no `P_t` check).
+fn lemma1_bound(sc: &Scenario, spec: &netmodel::TrafficSpec) -> Option<f64> {
+    let core = matches!(sc.protocol, ProtocolSpec::Lgg)
+        && matches!(sc.injection, InjectionSpec::Exact)
+        && matches!(sc.loss, LossSpec::None)
+        && matches!(sc.dynamics, DynamicsSpec::Static)
+        && matches!(sc.declaration, DeclarationSpec::Truthful);
+    if !core {
+        return None;
+    }
+    lgg_core::bounds::unsaturated_bounds(spec).map(|b| b.state_bound)
+}
+
+/// The `--guard` variant of the run command: same build path, but the
+/// scenario observer is wrapped in an [`InvariantGuard`] and the run goes
+/// through `run_guarded`. A violation dumps a reproducer (replayable via
+/// `lgg-sim chaos --replay`) plus a checkpoint into the dump dir and
+/// surfaces as [`LggError::InvariantViolation`] — exit code 9.
+fn run_guarded_cmd(
+    cfg: &RunConfig,
+    sc: &Scenario,
+    target: u64,
+    every: u64,
+    ckpt_dir: Option<PathBuf>,
+    observer: ScenarioObserver,
+) -> Result<RunSummary, LggError> {
+    let spec = sc.traffic_spec()?;
+    let mut gc = GuardConfig::checks();
+    gc.divergence = true;
+    gc.max_backlog = cfg.max_backlog;
+    gc.max_wall_ms = cfg.max_wall_ms;
+    gc.pt_bound = lemma1_bound(sc, &spec);
+    if let Some(b) = gc.pt_bound {
+        eprintln!("guard: core model on an unsaturated network — enforcing P_t <= {b:.0} (Lemma 1)");
+    }
+    let guard = InvariantGuard::with_inner(&spec, gc, observer);
+    let mut sim = sc.build_with_observer(
+        SimOverrides {
+            checkpoint: ckpt_dir
+                .as_ref()
+                .map(|d| CheckpointConfig::new(every, d.clone())),
+            ..SimOverrides::default()
+        },
+        guard,
+    )?;
+
+    // Fresh-run trace alignment (no resume under --guard): drop any stale
+    // bytes a previous run left in the (create + no-truncate) trace file.
+    if cfg.trace.is_some() {
+        if let ScenarioObserver::Jsonl(sink) = sim.observer_mut().inner_mut() {
+            let file = sink.writer_mut().get_mut();
+            file.set_len(0)
+                .and_then(|()| file.seek(SeekFrom::Start(0)).map(|_| ()))
+                .map_err(|e| LggError::io("cannot align trace file", e))?;
+        }
+    }
+
+    let dump = PathBuf::from(
+        cfg.guard_dump
+            .clone()
+            .unwrap_or_else(|| "results/chaos".into()),
+    );
+    let fault = cfg.inject_fault.map(|step| FaultSpec {
+        step,
+        node: 0,
+        amount: 1,
+    });
+    let report = sim.run_guarded(target, Some(&dump), fault)?;
+
+    let summary = RunSummary {
+        steps: sim.time(),
+        resumed_from: None,
+        injected: sim.metrics().injected,
+        delivered: sim.metrics().delivered,
+        lost: sim.metrics().lost,
+        final_pt: sim.network_state(),
+        sup_pt: sim.metrics().sup_pt,
+    };
+    let mut obs = sim.into_observer().into_inner();
+    if let ScenarioObserver::Jsonl(sink) = &mut obs {
+        if let Some(e) = sink.take_error() {
+            return Err(LggError::io("trace write failed", e));
+        }
+    }
+
+    match report.outcome {
+        GuardOutcome::Completed => {
+            eprintln!(
+                "guard: clean after {} steps — online stability {:?}, sup total {}",
+                report.steps, report.stability.verdict, report.stability.sup_total
+            );
+            Ok(summary)
+        }
+        GuardOutcome::BudgetExceeded(kind) => {
+            eprintln!(
+                "guard: {kind} budget exceeded at step {} — partial verdict {:?}, sup total {}",
+                report.steps, report.stability.verdict, report.stability.sup_total
+            );
+            if let Some(p) = &report.checkpoint {
+                eprintln!("guard: state checkpoint dumped to {}", p.display());
+            }
+            Ok(summary)
+        }
+        GuardOutcome::Violated(v) => {
+            let repro = Reproducer {
+                scenario: sc.clone(),
+                seed: sc.seed,
+                steps: (v.step + 1).min(target),
+                fault,
+                violation: v.clone(),
+            };
+            let path = write_reproducer(&dump, 0, &repro)?;
+            eprintln!("guard: INVARIANT VIOLATION at step {}: {}: {}", v.step, v.kind, v.detail);
+            eprintln!(
+                "guard: seed {}  reproducer {}  (replay: lgg-sim chaos --replay {})",
+                sc.seed,
+                path.display(),
+                path.display()
+            );
+            if let Some(p) = &report.checkpoint {
+                eprintln!("guard: state checkpoint dumped to {}", p.display());
+            }
+            Err(v.into())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +446,80 @@ mod tests {
         let b = fs::read(&part_trace).unwrap();
         assert_eq!(a, b, "resumed trace must be byte-identical");
         let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn guarded_run_is_clean_on_a_correct_engine() {
+        let base = std::env::temp_dir().join(format!("lgg_guard_clean_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        fs::create_dir_all(&base).unwrap();
+        let sc_path = write_scenario(&base);
+        let summary = run_with_checkpoints(&RunConfig {
+            scenario_path: sc_path,
+            guard: true,
+            guard_dump: Some(base.join("dump").to_string_lossy().into_owned()),
+            ..RunConfig::default()
+        })
+        .unwrap();
+        assert_eq!(summary.steps, 400);
+        assert!(!base.join("dump").exists(), "clean run must dump nothing");
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn guarded_run_with_planted_fault_exits_violation_and_dumps() {
+        let base = std::env::temp_dir().join(format!("lgg_guard_fault_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        fs::create_dir_all(&base).unwrap();
+        let sc_path = write_scenario(&base);
+        let dump = base.join("dump");
+        let err = run_with_checkpoints(&RunConfig {
+            scenario_path: sc_path,
+            guard: true,
+            guard_dump: Some(dump.to_string_lossy().into_owned()),
+            inject_fault: Some(77),
+            ..RunConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 9, "{err}");
+        assert!(matches!(err, LggError::InvariantViolation { step: 77, .. }), "{err}");
+        // The dump dir holds both the reproducer and a state checkpoint.
+        let repro = dump.join("repro_conservation_t0.json");
+        assert!(repro.exists(), "missing {}", repro.display());
+        let parsed: Reproducer =
+            serde_json::from_str(&fs::read_to_string(&repro).unwrap()).unwrap();
+        assert_eq!(parsed.violation.step, 77);
+        assert_eq!(parsed.steps, 78, "horizon tightened to violation + 1");
+        assert!(
+            fs::read_dir(&dump).unwrap().count() >= 2,
+            "expected reproducer + checkpoint"
+        );
+        // And the reproducer replays to the same violation.
+        let v = crate::replay_reproducer(repro.to_str().unwrap())
+            .unwrap()
+            .expect("reproducer must re-trigger");
+        assert_eq!(v.step, 77);
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn guard_flag_combinations_are_validated() {
+        let err = run_with_checkpoints(&RunConfig {
+            scenario_path: "x.json".into(),
+            inject_fault: Some(5),
+            ..RunConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, LggError::Scenario(_)), "{err}");
+        let err = run_with_checkpoints(&RunConfig {
+            scenario_path: "x.json".into(),
+            guard: true,
+            resume: true,
+            checkpoint_dir: Some("d".into()),
+            ..RunConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, LggError::Scenario(_)), "{err}");
     }
 
     #[test]

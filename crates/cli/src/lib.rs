@@ -30,6 +30,7 @@
 //! ```
 
 mod bench;
+mod chaos;
 mod checkpoint_cmd;
 mod report;
 mod scenario;
@@ -37,8 +38,12 @@ mod sweep;
 mod trace_cmd;
 
 pub use bench::{
-    check_observer_baseline, observer_bench, run_bench_suite, BenchCase, BenchReport,
-    EngineThroughput, ObserverBench,
+    check_observer_baseline, guard_bench, observer_bench, run_bench_suite, BenchCase, BenchReport,
+    EngineThroughput, GuardBench, ObserverBench,
+};
+pub use chaos::{
+    compose_trial, replay_reproducer, run_chaos, shrink, write_reproducer, ChaosConfig,
+    ChaosReport, Reproducer,
 };
 pub use checkpoint_cmd::{run_with_checkpoints, RunConfig, RunSummary};
 pub use report::{run_scenario, RunReport};

@@ -4,14 +4,15 @@ use std::fs;
 use std::process::ExitCode;
 
 use lgg_cli::{
-    capture_trace, check_observer_baseline, fnv1a_digest, run_bench_suite, run_scenario,
-    run_sweep, run_with_checkpoints, trace_smoke_scenario, write_sweep_into_bench, BenchReport,
-    LggError, RunConfig, Scenario, SweepConfig,
+    capture_trace, check_observer_baseline, fnv1a_digest, replay_reproducer, run_bench_suite,
+    run_chaos, run_scenario, run_sweep, run_with_checkpoints, trace_smoke_scenario,
+    write_sweep_into_bench, BenchReport, ChaosConfig, LggError, RunConfig, Scenario, SweepConfig,
 };
 
 /// Print a typed error and exit with its dedicated code (see
 /// [`LggError::exit_code`]): scenario 2, parse 3, I/O 4, graph/model 5,
-/// corrupt checkpoint 6, checkpoint version 7, checkpoint mismatch 8.
+/// corrupt checkpoint 6, checkpoint version 7, checkpoint mismatch 8,
+/// invariant violation 9.
 fn fail(e: &LggError) -> ExitCode {
     eprintln!("{e}");
     ExitCode::from(e.exit_code())
@@ -47,6 +48,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("run") {
         return run_run_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        return run_chaos_cmd(&args[1..]);
     }
     let mut json_out = false;
     let mut path: Option<String> = None;
@@ -98,11 +102,17 @@ fn main() -> ExitCode {
 
 /// `lgg-sim run SCENARIO.json [--steps N] [--checkpoint-every N]
 /// [--checkpoint-dir D] [--resume] [--trace FILE] [--sample-every N]
-/// [--kill-after N]`: run a scenario with crash-safe checkpoints.
-/// `--resume` continues from the newest readable snapshot in D and is
-/// bit-for-bit identical to an uninterrupted run, including the `--trace`
-/// artifact. `--kill-after` aborts the process hard after N steps (used
-/// by the CI crash-recovery smoke leg).
+/// [--kill-after N] [--guard] [--guard-dump DIR] [--max-backlog N]
+/// [--max-wall-ms N] [--inject-fault STEP]`: run a scenario with
+/// crash-safe checkpoints. `--resume` continues from the newest readable
+/// snapshot in D and is bit-for-bit identical to an uninterrupted run,
+/// including the `--trace` artifact. `--kill-after` aborts the process
+/// hard after N steps (used by the CI crash-recovery smoke leg).
+/// `--guard` runs under the runtime invariant monitor: a violation dumps
+/// a replayable reproducer + checkpoint into the `--guard-dump` dir
+/// (default `results/chaos`) and exits with code 9; `--max-backlog` /
+/// `--max-wall-ms` abort gracefully with a partial stability verdict;
+/// `--inject-fault` plants a synthetic conservation bug (test hook).
 fn run_run_cmd(args: &[String]) -> ExitCode {
     let mut cfg = RunConfig {
         sample_stride: 1,
@@ -157,6 +167,35 @@ fn run_run_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--guard" => cfg.guard = true,
+            "--guard-dump" => match it.next() {
+                Some(v) => cfg.guard_dump = Some(v.clone()),
+                None => {
+                    eprintln!("--guard-dump needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--inject-fault" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => cfg.inject_fault = Some(n),
+                None => {
+                    eprintln!("--inject-fault needs a non-negative step");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-backlog" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.max_backlog = Some(n),
+                _ => {
+                    eprintln!("--max-backlog needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-wall-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.max_wall_ms = Some(n),
+                _ => {
+                    eprintln!("--max-wall-ms needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if !other.starts_with('-') => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown run flag {other}");
@@ -189,6 +228,133 @@ fn run_run_cmd(args: &[String]) -> ExitCode {
                 println!("{}", summary.human());
             }
             ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+/// `lgg-sim chaos [--smoke] [--trials N] [--steps N] [--seed N]
+/// [--out DIR] [--inject-fault STEP] [--replay FILE]`: seeded adversarial
+/// campaign across the fault space (topology × injection × loss × churn ×
+/// liar declarations), every trial guarded, violations shrunk to minimal
+/// reproducers in DIR (default `results/chaos`). Exits 9 when any trial
+/// violates an invariant. `--replay FILE` re-runs one reproducer and
+/// exits 9 iff the recorded violation re-triggers at the recorded step.
+/// Trial count and parallelism (`LGG_THREADS`) never change outcomes —
+/// the printed digest is the cross-thread determinism witness CI checks.
+fn run_chaos_cmd(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut replay: Option<String> = None;
+    let mut trials: Option<usize> = None;
+    let mut steps: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut inject_fault: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--replay" => match it.next() {
+                Some(v) => replay = Some(v.clone()),
+                None => {
+                    eprintln!("--replay needs a reproducer file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trials" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => trials = Some(n),
+                _ => {
+                    eprintln!("--trials needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--steps" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => steps = Some(n),
+                _ => {
+                    eprintln!("--steps needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => seed = Some(n),
+                None => {
+                    eprintln!("--seed needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--inject-fault" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => inject_fault = Some(n),
+                None => {
+                    eprintln!("--inject-fault needs a non-negative step");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown chaos flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(file) = replay {
+        return match replay_reproducer(&file) {
+            Ok(Some(v)) => {
+                println!(
+                    "chaos replay: violation reproduced — {} at step {}",
+                    v.kind, v.step
+                );
+                ExitCode::from(9)
+            }
+            Ok(None) => {
+                eprintln!("chaos replay: recorded violation did NOT reproduce (stale reproducer?)");
+                ExitCode::FAILURE
+            }
+            Err(e) => fail(&e),
+        };
+    }
+    let mut cfg = if smoke {
+        ChaosConfig::smoke()
+    } else {
+        ChaosConfig::default()
+    };
+    if let Some(n) = trials {
+        cfg.trials = n;
+    }
+    if let Some(n) = steps {
+        cfg.steps = n;
+    }
+    if let Some(n) = seed {
+        cfg.seed = n;
+    }
+    if let Some(d) = out {
+        cfg.out_dir = d;
+    }
+    cfg.inject_fault = inject_fault;
+    match run_chaos(&cfg) {
+        Ok(report) => {
+            println!(
+                "chaos: {} trials  clean {}  budget-stopped {}  build-errors {}  violations {}  digest {}",
+                report.trials,
+                report.clean,
+                report.budget,
+                report.build_errors,
+                report.violations,
+                report.digest
+            );
+            for r in &report.reproducers {
+                println!("chaos: reproducer {r}");
+            }
+            if report.violations > 0 {
+                ExitCode::from(9)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => fail(&e),
     }
@@ -290,6 +456,12 @@ fn run_bench(args: &[String]) -> ExitCode {
                     obs.ring_vs_off,
                     obs.window.steps_per_sec,
                     obs.window_vs_off
+                );
+            }
+            if let Some(g) = &report.guard {
+                println!(
+                    "guard overhead on {} ({}): off {:.1} steps/s  guarded {:.1} ({:.3} of off)",
+                    g.case, g.engine, g.off.steps_per_sec, g.guarded.steps_per_sec, g.guarded_vs_off
                 );
             }
             println!("wrote {out}");
@@ -485,8 +657,15 @@ fn print_help() {
          \u{20}                           # per-step event trace as JSON Lines\n\
          \u{20}      lgg-sim run SCENARIO.json [--steps N] [--checkpoint-every N] [--checkpoint-dir D]\n\
          \u{20}                  [--resume] [--trace FILE] [--sample-every N] [--json]\n\
+         \u{20}                  [--guard] [--guard-dump DIR] [--max-backlog N] [--max-wall-ms N]\n\
          \u{20}                           # long run with crash-safe snapshots; --resume\n\
-         \u{20}                           # continues bit-for-bit from the newest snapshot\n\n\
+         \u{20}                           # continues bit-for-bit from the newest snapshot;\n\
+         \u{20}                           # --guard checks invariants every step and exits 9\n\
+         \u{20}                           # on violation with a replayable reproducer\n\
+         \u{20}      lgg-sim chaos [--smoke] [--trials N] [--steps N] [--seed N] [--out DIR]\n\
+         \u{20}                  [--replay FILE]\n\
+         \u{20}                           # seeded adversarial campaign; violations are\n\
+         \u{20}                           # shrunk to minimal reproducers in results/chaos\n\n\
          The scenario format covers topology, sources/sinks/R-generalized\n\
          nodes, protocol (lgg, matching-lgg, maxflow-routing, shortest-path,\n\
          flood, random-forward), arrival processes, loss models, topology\n\

@@ -306,6 +306,7 @@ pub fn write_sweep_into_bench(path: &str, report: SweepReport) -> Result<(), Lgg
         cases: Vec::new(),
         sweep: None,
         observer: None,
+        guard: None,
     };
     let mut bench: BenchReport = match std::fs::read_to_string(path) {
         Ok(text) if text.trim().is_empty() => fresh(),

@@ -622,6 +622,32 @@ impl<O: SimObserver> Simulation<O> {
         self.queues.iter().sum()
     }
 
+    /// Test-only fault hook: conjures `amount` packets into node
+    /// `v mod n`'s queue *without* counting them as injected — a
+    /// deliberate conservation bug for exercising the invariant guard
+    /// (see [`crate::guard`]). The sparse bookkeeping (accumulators,
+    /// active list) is kept consistent so the corruption is invisible to
+    /// everything except the conservation ledger, exactly like a real
+    /// state-update bug would be. Call between steps only.
+    #[doc(hidden)]
+    pub fn corrupt_queue_for_test(&mut self, v: u32, amount: u64) {
+        if amount == 0 || self.queues.is_empty() {
+            return;
+        }
+        let idx = (v as usize) % self.queues.len();
+        let old = self.queues[idx];
+        let new = old + amount;
+        self.queues[idx] = new;
+        self.acc_total += amount;
+        self.acc_pt += (new as u128) * (new as u128) - (old as u128) * (old as u128);
+        if old == 0 {
+            let node = NodeId::new(idx as u32);
+            if let Err(pos) = self.active.binary_search(&node) {
+                self.active.insert(pos, node);
+            }
+        }
+    }
+
     /// Number of nodes currently holding packets.
     pub fn active_node_count(&self) -> usize {
         match self.effective_mode() {

@@ -53,6 +53,19 @@ pub enum LggError {
         /// The first field that disagreed.
         reason: String,
     },
+    /// A guarded run (see [`crate::guard`]) detected a broken runtime
+    /// invariant — packet conservation, link capacity, declaration
+    /// legality, a certified `P_t` bound, or sustained divergence — and
+    /// aborted. The run driver dumps a checkpoint and a reproducer before
+    /// surfacing this.
+    InvariantViolation {
+        /// Which invariant broke (kebab-case, e.g. `conservation`).
+        kind: String,
+        /// The step whose end-of-step check failed.
+        step: u64,
+        /// Expected-vs-observed specifics.
+        detail: String,
+    },
 }
 
 /// Exit codes for the classes above (0 is success, 1 is the generic
@@ -68,6 +81,7 @@ impl LggError {
             LggError::CheckpointCorrupt { .. } => 6,
             LggError::CheckpointVersion { .. } => 7,
             LggError::CheckpointMismatch { .. } => 8,
+            LggError::InvariantViolation { .. } => 9,
         }
     }
 
@@ -111,6 +125,10 @@ impl std::fmt::Display for LggError {
             LggError::CheckpointMismatch { reason } => write!(
                 f,
                 "checkpoint does not match this simulation: {reason}"
+            ),
+            LggError::InvariantViolation { kind, step, detail } => write!(
+                f,
+                "invariant violation at step {step}: {kind}: {detail}"
             ),
         }
     }
@@ -180,6 +198,12 @@ mod tests {
             }
             .exit_code(),
             LggError::CheckpointMismatch { reason: "x".into() }.exit_code(),
+            LggError::InvariantViolation {
+                kind: "conservation".into(),
+                step: 7,
+                detail: "x".into(),
+            }
+            .exit_code(),
         ];
         let set: std::collections::BTreeSet<_> = codes.iter().collect();
         assert_eq!(set.len(), codes.len(), "exit codes must be distinct");

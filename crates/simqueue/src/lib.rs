@@ -49,6 +49,7 @@ pub mod checkpoint;
 pub mod declare;
 pub mod dynamic;
 pub mod error;
+pub mod guard;
 pub mod injection;
 pub mod loss;
 pub mod protocol;
@@ -62,13 +63,17 @@ pub use engine::{
     SimulationBuilder, AUTO_CHECK_INTERVAL, AUTO_DENSE_ABOVE, AUTO_SPARSE_BELOW,
 };
 pub use error::LggError;
+pub use guard::{
+    BudgetKind, FaultSpec, GuardConfig, GuardOutcome, GuardReport, InvariantGuard, Violation,
+    ViolationKind,
+};
 pub use metrics::{HistoryMode, Metrics, Snapshot};
 pub use protocol::{NetView, RoutingProtocol, Transmission};
 pub use rng::split_seed;
 pub use trace::{
     JsonlSink, NoopObserver, RingRecorder, SimObserver, TraceEvent, WindowAggregator, WindowStats,
 };
-pub use stability::{assess_stability, StabilityReport, StabilityVerdict};
+pub use stability::{assess_stability, OnlineStability, StabilityReport, StabilityVerdict};
 
 /// The stable import surface in one line: `use simqueue::prelude::*`.
 ///
@@ -80,8 +85,8 @@ pub mod prelude {
     pub use crate::checkpoint::CheckpointConfig;
     pub use crate::error::LggError;
     pub use crate::{
-        assess_stability, EngineMode, HistoryMode, Metrics, NetView, RoutingProtocol,
-        SimObserver, SimOverrides, Simulation, SimulationBuilder, StabilityVerdict, TraceEvent,
-        Transmission,
+        assess_stability, EngineMode, FaultSpec, GuardConfig, HistoryMode, InvariantGuard,
+        Metrics, NetView, RoutingProtocol, SimObserver, SimOverrides, Simulation,
+        SimulationBuilder, StabilityVerdict, TraceEvent, Transmission,
     };
 }

@@ -109,6 +109,87 @@ pub fn assess_stability(history: &[Snapshot]) -> StabilityReport {
     }
 }
 
+/// Streaming counterpart of [`assess_stability`] for runs whose history
+/// is too long (or too unbounded) to keep: the run guard's divergence
+/// detector. Snapshots are pushed one at a time into a bounded buffer;
+/// when the buffer fills it is halved and the keep-stride doubled, so
+/// memory stays `O(cap)` while the retained points remain evenly spaced
+/// across the whole trajectory. [`OnlineStability::assess`] then runs the
+/// offline detector over the retained points — with a capacity at least
+/// the trajectory length the two are *identical by construction*, and the
+/// subsampled regime is covered by the agreement tests against the
+/// checked-in scenarios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStability {
+    cap: usize,
+    stride: u64,
+    seen: u64,
+    buf: Vec<Snapshot>,
+}
+
+impl OnlineStability {
+    /// A detector retaining at most `cap` snapshots (floor 64 — below
+    /// that [`assess_stability`] cannot leave `Undecided` anyway).
+    pub fn new(cap: usize) -> Self {
+        OnlineStability {
+            cap: cap.max(64),
+            stride: 1,
+            seen: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Feeds the next snapshot (call once per recorded step, in order).
+    pub fn push(&mut self, s: Snapshot) {
+        if self.seen % self.stride == 0 {
+            if self.buf.len() >= self.cap {
+                // Halve: keep every other retained point, double the
+                // stride. Kept points sat at multiples of the old stride,
+                // and keeping even positions leaves exactly the multiples
+                // of the doubled stride — spacing stays uniform.
+                let mut i = 0usize;
+                self.buf.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+            // Re-test against the (possibly doubled) stride so the point
+            // pushed right after a halving does not break the spacing.
+            if self.seen % self.stride == 0 {
+                self.buf.push(s);
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Snapshots pushed so far (including discarded ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Snapshots currently retained.
+    pub fn retained(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Current keep-stride (1 until the first halving).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Runs [`assess_stability`] over the retained points.
+    pub fn assess(&self) -> StabilityReport {
+        assess_stability(&self.buf)
+    }
+
+    /// Shorthand for `self.assess().verdict`.
+    pub fn verdict(&self) -> StabilityVerdict {
+        self.assess().verdict
+    }
+}
+
 fn least_squares_slope(points: &[Snapshot]) -> f64 {
     let n = points.len() as f64;
     if points.len() < 2 {
@@ -208,5 +289,70 @@ mod tests {
         let r = assess_stability(&[]);
         assert_eq!(r.verdict, StabilityVerdict::Undecided);
         assert_eq!(r.sup_total, 0);
+    }
+
+    #[test]
+    fn online_with_large_cap_is_exactly_offline() {
+        for values in [
+            (0..300).map(|t| 5 + 3 * t).collect::<Vec<u64>>(),
+            (0..400).map(|t| 50 + (t % 7)).collect(),
+            (0..600).map(|t| if t < 150 { t } else { 150 }).collect(),
+        ] {
+            let h = snaps(values.iter().copied());
+            let mut online = OnlineStability::new(h.len());
+            for s in &h {
+                online.push(*s);
+            }
+            assert_eq!(online.stride(), 1);
+            assert_eq!(online.assess(), assess_stability(&h));
+        }
+    }
+
+    #[test]
+    fn online_halving_keeps_even_spacing_and_verdict() {
+        let h = snaps((0..4000).map(|t| 5 + 3 * t));
+        let mut online = OnlineStability::new(256);
+        for s in &h {
+            online.push(*s);
+        }
+        assert!(online.retained() <= 256);
+        assert!(online.stride() > 1);
+        assert_eq!(online.seen(), 4000);
+        // Retained points must be exactly the multiples of the stride.
+        let report = online.assess();
+        assert_eq!(report.verdict, StabilityVerdict::Diverging);
+        assert!((report.slope - 3.0).abs() < 0.1, "slope {}", report.slope);
+        // Spacing check via the diagnostic buffer: consecutive retained
+        // points differ by exactly `stride` steps.
+        let stride = online.stride();
+        let mut prev = None;
+        for s in &online.buf {
+            if let Some(p) = prev {
+                assert_eq!(s.t - p, stride);
+            }
+            prev = Some(s.t);
+        }
+    }
+
+    #[test]
+    fn online_subsampled_agrees_on_plateau() {
+        let h = snaps((0..4096).map(|t| 50 + (t % 11)));
+        let mut online = OnlineStability::new(128);
+        for s in &h {
+            online.push(*s);
+        }
+        assert_eq!(online.verdict(), StabilityVerdict::Stable);
+        assert_eq!(assess_stability(&h).verdict, StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn online_round_trips_through_serde() {
+        let mut online = OnlineStability::new(64);
+        for s in snaps((0..200).map(|t| t)) {
+            online.push(s);
+        }
+        let json = serde_json::to_string(&online).unwrap();
+        let back: OnlineStability = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, online);
     }
 }

@@ -36,6 +36,50 @@ cargo run --release -p lgg-cli -- sweep --smoke --out "$(mktemp)"
 cargo run --release -p lgg-cli -- trace --smoke
 cargo test -q --test golden_trace
 
+# Chaos smoke: a small guarded adversarial campaign, run at both pool
+# widths; every trial is invariant-checked and the campaign digest must
+# be identical regardless of thread count (the chaos analogue of the
+# sweep determinism gate). A clean engine exits 0 with zero violations.
+CHAOS_1="$(LGG_THREADS=1 cargo run --release -p lgg-cli -- chaos --smoke \
+    --out "$(mktemp -d)" 2>/dev/null | head -1)"
+CHAOS_4="$(LGG_THREADS=4 cargo run --release -p lgg-cli -- chaos --smoke \
+    --out "$(mktemp -d)" 2>/dev/null | head -1)"
+echo "$CHAOS_1"
+[ "$CHAOS_1" = "$CHAOS_4" ] || {
+    echo "ci: chaos campaign diverged across LGG_THREADS: '$CHAOS_1' vs '$CHAOS_4'" >&2
+    exit 1
+}
+
+# Reproducer replay: the checked-in shrunk reproducer (a planted
+# conservation fault) must still re-trigger its recorded violation at the
+# recorded step — replay exits with the invariant-violation code 9.
+cargo run --release -p lgg-cli -- chaos \
+    --replay results/chaos/repro_conservation_fault.json && {
+    echo "ci: chaos replay: expected exit 9 (violation reproduced)" >&2
+    exit 1
+} || [ $? -eq 9 ] || {
+    echo "ci: chaos replay: expected exit 9, got $?" >&2
+    exit 1
+}
+
+# Guard abort path end to end: a guarded run hitting an injected
+# conservation bug must abort with exit code 9 and dump a replayable
+# reproducer + checkpoint.
+GUARD_DUMP="$(mktemp -d)"
+cargo run --release -p lgg-cli -- run scenarios/saturated_dumbbell.json \
+    --guard --guard-dump "$GUARD_DUMP" --inject-fault 120 --steps 500 && {
+    echo "ci: guard: expected exit 9 on the injected fault" >&2
+    exit 1
+} || [ $? -eq 9 ] || {
+    echo "ci: guard: expected exit 9, got $?" >&2
+    exit 1
+}
+[ -f "$GUARD_DUMP/repro_conservation_t0.json" ] || {
+    echo "ci: guard: missing dumped reproducer" >&2
+    exit 1
+}
+rm -rf "$GUARD_DUMP"
+
 # Kill-and-resume smoke: run the smoke scenario uninterrupted, then run it
 # again but abort() the process hard mid-run (--kill-after skips all
 # flushes and destructors), resume from the surviving snapshot, and
